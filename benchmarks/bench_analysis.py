@@ -1,0 +1,100 @@
+"""§6.3 — Program analysis: shape propagation, cost estimation, hardware
+simulation, and graph drawing.
+
+The paper reports no table for this section; the claims are capability
+claims ("torch.fx enables the estimation of FLOPs, memory bandwidth
+usage, and data value sizes ... allowing for estimation of the program
+runtime and memory consumption", "rapid development ... quick iteration
+in simulation rather than on real devices").  This harness regenerates a
+representative analysis table and benchmarks the analyses themselves —
+they must be fast enough for interactive iteration (orders of magnitude
+faster than running the model on a device).
+"""
+
+import pytest
+
+import repro
+from repro.bench import format_table, measure
+from repro.fx import symbolic_trace
+from repro.fx.passes import FxGraphDrawer, ShapeProp, estimate
+from repro.fx.passes.cost_model import ASIC_MODEL, CPU_MODEL, GPU_MODEL
+from repro.models import resnet18, resnet50
+
+from conftest import write_results
+
+
+@pytest.fixture(scope="module")
+def traced():
+    repro.manual_seed(0)
+    return symbolic_trace(resnet50().eval())
+
+
+def test_analysis_table(benchmark, traced):
+    x = repro.randn(1, 3, 224, 224)
+
+    def analyze():
+        report = estimate(traced, x)
+        rows = [
+            ["graph nodes", len(traced.graph)],
+            ["tensor ops costed", len(report.rows)],
+            ["total GFLOPs", report.total_flops / 1e9],
+            ["total traffic (MB)", report.total_bytes / 1e6],
+            ["peak activation (MB)", report.peak_value_bytes / 1e6],
+        ]
+        for dev in (CPU_MODEL, GPU_MODEL, ASIC_MODEL):
+            rows.append([f"predicted latency on {dev.name} (ms)",
+                         dev.predict_runtime(report) * 1e3])
+        return rows, report
+
+    rows, report = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    table = format_table(
+        ["metric", "value"], rows,
+        title="§6.3 — ResNet-50 @ 1x3x224x224 analysis summary",
+        floatfmt=".3f",
+    )
+    write_results("section6_3_analysis", table)
+
+    # sanity: ResNet-50 is ~4.1 GMACs => ~8.2 GFLOPs
+    gflops = report.total_flops / 1e9
+    assert 7.0 < gflops < 9.5
+    # simulated device ordering must be sane
+    assert (ASIC_MODEL.predict_runtime(report)
+            < GPU_MODEL.predict_runtime(report)
+            < CPU_MODEL.predict_runtime(report))
+
+
+def test_shape_prop_speed(benchmark, traced):
+    """Shape propagation interprets the graph once — fast enough to run
+    interactively (it IS a model forward plus bookkeeping)."""
+    x = repro.randn(1, 3, 64, 64)
+    benchmark.pedantic(lambda: ShapeProp(traced).propagate(x),
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_cost_estimate_speed(benchmark, traced):
+    x = repro.randn(1, 3, 64, 64)
+    benchmark.pedantic(lambda: estimate(traced, x), rounds=3, iterations=1,
+                       warmup_rounds=1)
+
+
+def test_simulation_vs_execution_speed(benchmark, traced):
+    """The point of simulating: predicting a device latency from a costed
+    graph is ~instant compared to actually running the model."""
+    x = repro.randn(1, 3, 64, 64)
+    report = estimate(traced, x)
+
+    t_predict = measure(lambda: CPU_MODEL.predict_runtime(report), trials=5)
+    t_run = measure(lambda: traced(x), trials=3, warmup=1)
+    benchmark.pedantic(lambda: CPU_MODEL.predict_runtime(report), rounds=3,
+                       iterations=1)
+    assert t_predict.median * 100 < t_run.median
+
+
+def test_graph_drawer_speed_and_output(benchmark, traced):
+    dot = benchmark.pedantic(
+        lambda: FxGraphDrawer(traced, "resnet50").get_dot_graph(),
+        rounds=3, iterations=1,
+    )
+    assert dot.startswith("digraph")
+    # 177 nodes, each with a label line
+    assert dot.count("label=") == len(traced.graph)

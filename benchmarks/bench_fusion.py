@@ -1,0 +1,122 @@
+"""§6.2.2 / Figure 7 / Appendix C — Conv-BatchNorm fusion on ResNet-50.
+
+Paper result (latency reduction from fusing BN into conv weights):
+
+    GPU (V100):              0.1887 s -> 0.1777 s   (~6%)
+    CPU, intra-op threads:   0.2996 s -> 0.2129 s   (~29-40%)
+    CPU, single thread:      2.0231 s -> 1.7166 s   (~15-18%)
+
+The transform itself is exact (weights folded; bit-identical modulo float
+rounding — verified in tests/test_fx_passes.py), so the claim reproduced
+here is the *performance* effect: removing 53 BatchNorm passes over the
+activation tensors reduces latency, by an amount that depends on how
+memory-bound the regime is.
+
+This harness runs single-threaded numpy, so the paper's three hardware
+regimes are mapped to three workload regimes that shift the conv:BN cost
+ratio the same way thread count does (see EXPERIMENTS.md):
+
+    "throughput"  — batch 4 @ 64px  (conv GEMMs efficient, BN share high,
+                     like the threaded-CPU row)
+    "balanced"    — batch 2 @ 96px
+    "latency"     — batch 1 @ 128px (large ims, conv-dominated, like the
+                     GPU row where fusion buys least)
+"""
+
+import pytest
+
+import repro
+from repro.bench import format_table, measure
+from repro.fx import symbolic_trace
+from repro.fx.passes import fuse_conv_bn
+from repro.models import resnet50
+
+from conftest import bench_scale, write_results
+
+REGIMES = {
+    "throughput (≈ CPU threaded row)": (4, 64),
+    "balanced   (≈ CPU unthreaded row)": (2, 96),
+    "latency    (≈ GPU row)": (1, 128),
+}
+
+PAPER_ROWS = [
+    ["GPU", "unfused", "n/a", 0.1887, 0.00048],
+    ["GPU", "fused", "n/a", 0.1777, 0.00049],
+    ["CPU", "unfused", "threaded", 0.2996, 0.02835],
+    ["CPU", "fused", "threaded", 0.2129, 0.03491],
+    ["CPU", "unfused", "unthreaded", 2.0231, 0.23050],
+    ["CPU", "fused", "unthreaded", 1.7166, 0.25091],
+]
+
+
+@pytest.fixture(scope="module")
+def models():
+    repro.manual_seed(0)
+    m = resnet50().eval()
+    gm = symbolic_trace(m)
+    fused = fuse_conv_bn(symbolic_trace(m))
+    return gm, fused
+
+
+def test_figure7_fusion_latency_reduction(benchmark, models):
+    gm, fused = models
+    trials = 15 if bench_scale() == "paper" else 9
+
+    def sweep():
+        import time
+
+        rows, reductions = [], []
+        for name, (b, s) in REGIMES.items():
+            x = repro.randn(b, 3, s, s)
+            gm(x), fused(x)  # warmup both
+            # interleave the two variants so slow drift (cache state,
+            # background load) cancels instead of biasing one side
+            t_u, t_f = [], []
+            for _ in range(trials):
+                t0 = time.perf_counter(); gm(x); t_u.append(time.perf_counter() - t0)
+                t0 = time.perf_counter(); fused(x); t_f.append(time.perf_counter() - t0)
+            best_u, best_f = min(t_u), min(t_f)
+            import statistics
+            reduction = 1 - best_f / best_u
+            reductions.append(reduction)
+            rows.append([
+                name, f"{b}x3x{s}x{s}",
+                best_u, statistics.stdev(t_u),
+                best_f, statistics.stdev(t_f),
+                f"{reduction * 100:.1f}%",
+            ])
+        return rows, reductions
+
+    rows, reductions = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["regime", "input", "unfused (s)", "std", "fused (s)", "std", "reduction"],
+        rows,
+        title="Figure 7 / Appendix C — ResNet-50 Conv-BN fusion "
+              "(measured, single-thread numpy substrate)",
+    )
+    paper = format_table(
+        ["device", "fusion", "threads", "runtime (s)", "std"],
+        PAPER_ROWS,
+        title="Paper reference numbers (Appendix C)",
+    )
+    write_results("figure7_fusion", table + "\n\n" + paper)
+
+    # Shape claims: fusion helps (best-of-N, paired-interleaved timing);
+    # thresholds leave room for this machine's run-to-run noise.
+    assert max(reductions) > 0.04
+    assert all(r > -0.05 for r in reductions)  # never a real slowdown
+
+
+def test_fusion_node_count(benchmark, models):
+    """Structural effect: all 53 BNs are gone from the graph."""
+    gm, fused = models
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(gm.graph) - len(fused.graph) == 53
+
+
+@pytest.mark.parametrize("variant", ["unfused", "fused"])
+def test_forward_wallclock(benchmark, models, variant):
+    gm, fused = models
+    model = gm if variant == "unfused" else fused
+    x = repro.randn(2, 3, 64, 64)
+    benchmark.pedantic(lambda: model(x), rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,37 @@
+"""Shared benchmark configuration.
+
+Scaling: the paper benchmarks on a 20-core Xeon + V100; this harness runs
+on whatever machine executes it, so workloads are scaled down by default.
+Set ``REPRO_BENCH_SCALE=paper`` for paper-scale shapes (much slower).
+
+Every benchmark writes its paper-style results table to
+``benchmarks/results/<name>.txt`` (consumed by EXPERIMENTS.md) in addition
+to asserting the qualitative claims (who wins, roughly by how much).
+"""
+
+import os
+
+import pytest
+
+import repro
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+def write_results(name: str, text: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    print(f"\n{text}\n[results written to {path}]")
+    return path
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    repro.manual_seed(2022)  # the paper's year
+    yield

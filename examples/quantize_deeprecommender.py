@@ -1,0 +1,80 @@
+"""Post-training quantization of DeepRecommender (paper §6.2.1, Figure 6).
+
+The three-phase workflow:
+  1. prepare  — instrument the traced graph with observers;
+  2. calibrate — run representative batches through the prepared model;
+  3. convert  — down-cast weights, swap in quantized kernels, insert
+                quantize/dequantize boundaries.
+
+Run:  python examples/quantize_deeprecommender.py
+"""
+
+import numpy as np
+
+import repro
+from repro.bench import print_table
+from repro.models import DeepRecommender
+from repro.quant import QuantizedLinear, convert_fx, prepare_fx
+
+
+def sparse_ratings(batch: int, n_items: int, density: float = 0.02) -> repro.Tensor:
+    """Synthetic Netflix-style rating vectors: mostly zeros, a few 1-5 stars.
+
+    (The paper uses the Netflix Prize data, which is not redistributable;
+    the quantization behaviour depends only on the activation statistics,
+    which this reproduces: sparse non-negative inputs.)
+    """
+    rng = repro.tensor(np.zeros((batch, n_items), dtype=np.float32))
+    mask = repro.rand(batch, n_items).data < density
+    stars = repro.randint(1, 6, (batch, n_items)).data.astype(np.float32)
+    rng.data[mask] = stars[mask]
+    return rng
+
+
+def main() -> None:
+    repro.manual_seed(0)
+    n_items = 2048  # scaled-down item vocabulary (paper: 17768)
+    model = DeepRecommender(n_items=n_items, dropout=0.0).eval()
+
+    # Phase 1: prepare
+    prepared = prepare_fx(model)
+    n_observers = sum("activation_post_process" in n for n, _ in prepared.named_modules())
+    print(f"prepared: {n_observers} observers inserted")
+
+    # Phase 2: calibrate
+    for _ in range(8):
+        prepared(sparse_ratings(16, n_items))
+    print("calibrated on 8 batches")
+
+    # Phase 3: convert
+    quantized = convert_fx(prepared)
+    qlinears = [m for m in quantized.modules() if isinstance(m, QuantizedLinear)]
+    print(f"converted: {len(qlinears)} Linear layers now run int8 kernels\n")
+    print("== quantized forward (excerpt) ==")
+    print("\n".join(quantized.code.splitlines()[:12]))
+
+    # Accuracy + memory report
+    x = sparse_ratings(32, n_items)
+    y_float = model(x)
+    y_quant = quantized(x)
+    rel_err = float((y_float - y_quant).abs().max()) / float(y_float.abs().max())
+
+    float_weight_bytes = sum(
+        p.nbytes() for name, p in model.named_parameters() if name.endswith("weight")
+    )
+    quant_weight_bytes = sum(m.weight_nbytes() for m in qlinears)
+
+    print_table(
+        ["metric", "float32", "int8"],
+        [
+            ["weight memory (MB)", float_weight_bytes / 1e6, quant_weight_bytes / 1e6],
+            ["max relative error", 0.0, rel_err],
+        ],
+        title="DeepRecommender post-training quantization",
+    )
+    assert rel_err < 0.1, "quantization error out of expected range"
+    print("quantization example OK")
+
+
+if __name__ == "__main__":
+    main()

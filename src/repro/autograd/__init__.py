@@ -1,0 +1,19 @@
+"""``repro.autograd`` — tape-based reverse-mode differentiation.
+
+The eager-framework substrate the paper's §1 describes ("program
+differentiation is reformulated ... to a just-in-time transformation, in
+the form of auto-differentiation"), built on the same
+``__tensor_function__`` dispatch protocol that powers fx tracing.
+"""
+
+from .tape import GradTensor, Tape, TapeEntry
+from .vjp import METHOD_TO_FUNCTION, VJP_RULES, register_vjp
+
+__all__ = [
+    "GradTensor",
+    "METHOD_TO_FUNCTION",
+    "Tape",
+    "TapeEntry",
+    "VJP_RULES",
+    "register_vjp",
+]

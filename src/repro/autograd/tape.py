@@ -1,0 +1,243 @@
+"""Tape-based reverse-mode automatic differentiation.
+
+The paper's §1 frames eager frameworks around just-in-time program
+differentiation ("the primary program transformation used in deep
+learning frameworks").  This module supplies that substrate — and it is
+built on the *same* ``__tensor_function__`` dispatch protocol that fx's
+symbolic tracing uses: a :class:`GradTensor` intercepts every
+dispatchable free function, records the operation (with the values the
+backward pass will need) onto a :class:`Tape`, and computes the forward
+value eagerly.  Three interceptors — fx ``Proxy`` (abstract capture),
+``jit.trace``'s ``TracingTensor`` (concrete capture) and ``GradTensor``
+(differentiation) — all ride one protocol, which is the protocol's point.
+
+Usage::
+
+    tape = Tape()
+    x = tape.watch(inputs)                 # wrap inputs
+    loss = F.mse_loss(model(x), targets)   # modules run unchanged
+    grads = tape.gradients(loss, model.parameters())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from ..nn import Parameter
+from ..tensor import Tensor
+
+__all__ = ["GradTensor", "Tape", "TapeEntry"]
+
+
+class TapeEntry:
+    """One recorded operation: the function, its inputs, and its output."""
+
+    __slots__ = ("func", "args", "kwargs", "output", "input_ids")
+
+    def __init__(self, func: Callable, args: tuple, kwargs: dict, output: Tensor):
+        self.func = func
+        self.args = args          # unwrapped (plain Tensors / immediates)
+        self.kwargs = kwargs
+        self.output = output
+        # positions in args that are differentiable tracked values
+        self.input_ids: list[tuple[int, int]] = []
+
+
+def _unwrap(a: Any) -> Any:
+    if isinstance(a, GradTensor):
+        return a.value
+    if isinstance(a, (tuple, list)):
+        return type(a)(_unwrap(x) for x in a)
+    if isinstance(a, dict):
+        return {k: _unwrap(v) for k, v in a.items()}
+    return a
+
+
+class GradTensor:
+    """A tensor whose operations are recorded for differentiation.
+
+    Wraps a concrete :class:`Tensor`; every dispatched op computes its
+    real value and appends a tape entry.  ``Parameter`` arguments are
+    automatically treated as watched leaves, so ordinary ``nn.Module``
+    code differentiates without modification.
+    """
+
+    __slots__ = ("value", "tape")
+
+    def __init__(self, value: Tensor, tape: "Tape"):
+        self.value = value
+        self.tape = tape
+
+    # -- protocol interception -------------------------------------------------
+
+    def __tensor_function__(self, func, types, args, kwargs):
+        return self.tape.record(func, args, kwargs or {})
+
+    def __getattr__(self, name: str):
+        if name in ("shape", "ndim", "dtype", "device"):
+            return getattr(self.value, name)
+        if name in ("size", "dim", "numel", "item", "tolist", "element_size"):
+            return getattr(self.value, name)
+        attr = getattr(self.value, name)
+        if callable(attr):
+            def recorded(*args, **kwargs):
+                return self.tape.record_method(name, (self,) + args, kwargs)
+            return recorded
+        return attr
+
+    def __repr__(self) -> str:
+        return f"GradTensor({self.value!r})"
+
+    def __len__(self) -> int:
+        return len(self.value)
+
+    def backward(self) -> None:
+        """Convenience: run the tape backward from this (scalar) value."""
+        self.tape.backward(self)
+
+
+def _make_op(name):
+    import repro.functional as F
+
+    fn = getattr(F, name)
+
+    def impl(self, other):
+        return self.tape.record(fn, (self, other), {})
+
+    def rimpl(self, other):
+        return self.tape.record(fn, (other, self), {})
+
+    return impl, rimpl
+
+
+for _name, _magic in [("add", "add"), ("sub", "sub"), ("mul", "mul"),
+                      ("div", "truediv"), ("matmul", "matmul"), ("pow", "pow")]:
+    _impl, _rimpl = _make_op(_name)
+    setattr(GradTensor, f"__{_magic}__", _impl)
+    setattr(GradTensor, f"__r{_magic}__", _rimpl)
+
+
+def _neg_impl(self):
+    import repro.functional as F
+
+    return self.tape.record(F.neg, (self,), {})
+
+
+GradTensor.__neg__ = _neg_impl  # type: ignore[method-assign]
+
+
+class Tape:
+    """Records differentiable operations and computes gradients.
+
+    One Tape corresponds to one forward pass.  ``watch`` wraps inputs in
+    :class:`GradTensor`; ``gradients`` runs the reverse sweep.
+    """
+
+    def __init__(self):
+        self.entries: list[TapeEntry] = []
+        # id(Tensor value object) -> producing entry index, for chaining
+        self._producer: dict[int, int] = {}
+        self._watched: dict[int, Tensor] = {}
+
+    # -- forward recording ----------------------------------------------------------
+
+    def watch(self, t: Tensor) -> GradTensor:
+        """Mark *t* as a differentiable input and wrap it."""
+        self._watched[id(t)] = t
+        return GradTensor(t, self)
+
+    def record(self, func: Callable, args: tuple, kwargs: dict) -> GradTensor:
+        from .vjp import VJP_RULES
+
+        raw_args = _unwrap(args)
+        raw_kwargs = _unwrap(kwargs)
+        out = func(*raw_args, **raw_kwargs)
+        name = getattr(func, "__name__", None)
+        if name not in VJP_RULES:
+            raise NotImplementedError(
+                f"no backward rule registered for {name!r}; see repro.autograd.vjp"
+            )
+        entry = TapeEntry(func, raw_args, raw_kwargs, out)
+        self._note_inputs(entry, args)
+        self.entries.append(entry)
+        self._producer[id(out)] = len(self.entries) - 1
+        return GradTensor(out, self)
+
+    def record_method(self, name: str, args: tuple, kwargs: dict) -> GradTensor:
+        import repro.functional as F
+
+        from .vjp import METHOD_TO_FUNCTION
+
+        fn_name = METHOD_TO_FUNCTION.get(name)
+        if fn_name is None:
+            raise NotImplementedError(
+                f"no backward rule for Tensor method {name!r}"
+            )
+        fn = getattr(F, fn_name)
+        # methods like reshape(2, 3) need shape args packaged for the functional
+        if fn_name == "reshape":
+            self_arg = args[0]
+            shape = args[1:] if not isinstance(args[1], (tuple, list)) else args[1]
+            return self.record(fn, (self_arg, tuple(shape)), {})
+        if fn_name == "flatten":
+            return self.record(fn, args, kwargs)
+        if fn_name == "transpose":
+            return self.record(fn, args, kwargs)
+        return self.record(fn, args, kwargs)
+
+    def _note_inputs(self, entry: TapeEntry, wrapped_args: tuple) -> None:
+        def walk(a, path_idx):
+            if isinstance(a, GradTensor):
+                entry.input_ids.append((path_idx, id(a.value)))
+            elif isinstance(a, Parameter):
+                self._watched.setdefault(id(a), a)
+                entry.input_ids.append((path_idx, id(a)))
+            elif isinstance(a, (tuple, list)):
+                for x in a:
+                    walk(x, path_idx)
+
+        for i, a in enumerate(wrapped_args):
+            walk(a, i)
+
+    # -- reverse sweep -----------------------------------------------------------------
+
+    def backward(self, loss: GradTensor) -> dict[int, Tensor]:
+        """Accumulate gradients for every watched value; returns the full
+        id -> grad map (use :meth:`gradients` for the friendly API)."""
+        from .vjp import VJP_RULES
+
+        if loss.value.numel() != 1:
+            raise ValueError("backward() requires a scalar loss")
+        grads: dict[int, np.ndarray] = {
+            id(loss.value): np.ones_like(loss.value.data)
+        }
+        for idx in range(len(self.entries) - 1, -1, -1):
+            entry = self.entries[idx]
+            g_out = grads.pop(id(entry.output), None)
+            if g_out is None:
+                continue  # this value does not influence the loss
+            rule = VJP_RULES[entry.func.__name__]
+            input_grads = rule(entry, g_out)
+            for (arg_idx, value_id) in entry.input_ids:
+                gin = input_grads.get(arg_idx)
+                if gin is None:
+                    continue
+                if value_id in grads:
+                    grads[value_id] = grads[value_id] + gin
+                else:
+                    grads[value_id] = gin
+        self._last_grads = grads
+        return {k: Tensor(v) for k, v in grads.items()}
+
+    def gradients(
+        self, loss: GradTensor, params: Iterable[Tensor]
+    ) -> list[Tensor | None]:
+        """Gradients of *loss* w.r.t. each of *params* (None if unused)."""
+        grad_map = self.backward(loss)
+        out = []
+        for p in params:
+            g = grad_map.get(id(p))
+            out.append(g if g is None else Tensor(np.asarray(g.data, dtype=p.data.dtype)))
+        return out

@@ -1,0 +1,628 @@
+"""Vector-Jacobian product (backward) rules for the autograd tape.
+
+Each rule receives the recorded :class:`~repro.autograd.tape.TapeEntry`
+(with *unwrapped* forward args/kwargs and the forward output) and the
+incoming output gradient, and returns ``{arg_index: grad_ndarray}`` for
+every differentiable positional argument.
+
+Rules are registered by the *name* of the dispatchable functional, which
+is what the tape stores.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..functional import _pair
+from ..tensor import Tensor
+
+__all__ = ["VJP_RULES", "METHOD_TO_FUNCTION", "register_vjp"]
+
+VJP_RULES: dict[str, Callable] = {}
+
+METHOD_TO_FUNCTION = {
+    "reshape": "reshape", "flatten": "flatten", "relu": "relu",
+    "sigmoid": "sigmoid", "tanh": "tanh", "exp": "exp", "log": "log",
+    "sqrt": "sqrt", "abs": "abs", "neg": "neg", "sum": "sum", "mean": "mean",
+    "matmul": "matmul", "transpose": "transpose", "pow": "pow",
+    "softmax": "softmax", "gelu": "gelu",
+}
+
+
+def register_vjp(name: str):
+    def deco(fn):
+        VJP_RULES[name] = fn
+        return fn
+
+    return deco
+
+
+def _data(a) -> np.ndarray:
+    return a.data if isinstance(a, Tensor) else np.asarray(a)
+
+
+def _unbroadcast(g: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum *g* down to *shape* (inverse of numpy broadcasting)."""
+    if g.shape == tuple(shape):
+        return g
+    # sum leading extra dims
+    while g.ndim > len(shape):
+        g = g.sum(axis=0)
+    for i, s in enumerate(shape):
+        if s == 1 and g.shape[i] != 1:
+            g = g.sum(axis=i, keepdims=True)
+    return g.reshape(shape)
+
+
+def _shape_of(a) -> tuple:
+    return tuple(_data(a).shape) if hasattr(a, "shape") or isinstance(
+        a, np.ndarray
+    ) else ()
+
+
+# ---------------------------------------------------------------------------
+# elementwise arithmetic
+# ---------------------------------------------------------------------------
+
+
+@register_vjp("add")
+def _add(entry, g):
+    a, b = entry.args[0], entry.args[1]
+    alpha = entry.kwargs.get("alpha", 1)
+    out = {}
+    if hasattr(a, "data"):
+        out[0] = _unbroadcast(g, a.data.shape)
+    if hasattr(b, "data"):
+        out[1] = _unbroadcast(g * alpha, b.data.shape)
+    return out
+
+
+@register_vjp("sub")
+def _sub(entry, g):
+    a, b = entry.args[0], entry.args[1]
+    out = {}
+    if hasattr(a, "data"):
+        out[0] = _unbroadcast(g, a.data.shape)
+    if hasattr(b, "data"):
+        out[1] = _unbroadcast(-g, b.data.shape)
+    return out
+
+
+@register_vjp("mul")
+def _mul(entry, g):
+    a, b = entry.args[0], entry.args[1]
+    out = {}
+    if hasattr(a, "data"):
+        out[0] = _unbroadcast(g * _data(b), _data(a).shape)
+    if hasattr(b, "data"):
+        out[1] = _unbroadcast(g * _data(a), _data(b).shape)
+    return out
+
+
+@register_vjp("div")
+def _div(entry, g):
+    a, b = entry.args[0], entry.args[1]
+    out = {}
+    if hasattr(a, "data"):
+        out[0] = _unbroadcast(g / _data(b), _data(a).shape)
+    if hasattr(b, "data"):
+        out[1] = _unbroadcast(-g * _data(a) / (_data(b) ** 2), _data(b).shape)
+    return out
+
+
+@register_vjp("neg")
+def _neg(entry, g):
+    return {0: -g}
+
+
+@register_vjp("pow")
+def _pow(entry, g):
+    a, e = entry.args[0], entry.args[1]
+    if hasattr(e, "data"):
+        raise NotImplementedError("pow backward supports scalar exponents only")
+    x = _data(a)
+    return {0: g * e * np.power(x, e - 1)}
+
+
+@register_vjp("exp")
+def _exp(entry, g):
+    return {0: g * entry.output.data}
+
+
+@register_vjp("log")
+def _log(entry, g):
+    return {0: g / _data(entry.args[0])}
+
+
+@register_vjp("sqrt")
+def _sqrt(entry, g):
+    return {0: g / (2.0 * entry.output.data)}
+
+
+@register_vjp("abs")
+def _abs(entry, g):
+    return {0: g * np.sign(_data(entry.args[0]))}
+
+
+@register_vjp("maximum")
+def _maximum(entry, g):
+    a, b = _data(entry.args[0]), _data(entry.args[1])
+    mask = a >= b
+    out = {}
+    if hasattr(entry.args[0], "data"):
+        out[0] = _unbroadcast(g * mask, a.shape)
+    if hasattr(entry.args[1], "data"):
+        out[1] = _unbroadcast(g * ~mask, b.shape)
+    return out
+
+
+@register_vjp("minimum")
+def _minimum(entry, g):
+    a, b = _data(entry.args[0]), _data(entry.args[1])
+    mask = a <= b
+    out = {}
+    if hasattr(entry.args[0], "data"):
+        out[0] = _unbroadcast(g * mask, a.shape)
+    if hasattr(entry.args[1], "data"):
+        out[1] = _unbroadcast(g * ~mask, b.shape)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# activations
+# ---------------------------------------------------------------------------
+
+
+@register_vjp("relu")
+def _relu(entry, g):
+    return {0: g * (_data(entry.args[0]) > 0)}
+
+
+@register_vjp("leaky_relu")
+def _leaky_relu(entry, g):
+    slope = entry.args[1] if len(entry.args) > 1 else entry.kwargs.get(
+        "negative_slope", 0.01
+    )
+    x = _data(entry.args[0])
+    return {0: g * np.where(x >= 0, 1.0, slope)}
+
+
+@register_vjp("sigmoid")
+def _sigmoid(entry, g):
+    s = entry.output.data
+    return {0: g * s * (1 - s)}
+
+
+@register_vjp("tanh")
+def _tanh(entry, g):
+    t = entry.output.data
+    return {0: g * (1 - t * t)}
+
+
+@register_vjp("gelu")
+def _gelu(entry, g):
+    x = _data(entry.args[0]).astype(np.float64)
+    cdf = 0.5 * (1.0 + _erf(x / math.sqrt(2.0)))
+    pdf = np.exp(-0.5 * x * x) / math.sqrt(2.0 * math.pi)
+    return {0: (g * (cdf + x * pdf)).astype(_data(entry.args[0]).dtype)}
+
+
+def _erf(x: np.ndarray) -> np.ndarray:
+    return Tensor(x.astype(np.float64)).erf().data
+
+
+@register_vjp("selu")
+def _selu(entry, g):
+    alpha, scale = 1.6732632423543772, 1.0507009873554805
+    x = _data(entry.args[0])
+    return {0: g * np.where(x > 0, scale, scale * alpha * np.exp(x))}
+
+
+@register_vjp("silu")
+def _silu(entry, g):
+    x = _data(entry.args[0])
+    s = 1.0 / (1.0 + np.exp(-x))
+    return {0: g * (s + x * s * (1 - s))}
+
+
+@register_vjp("softmax")
+def _softmax(entry, g):
+    dim = entry.args[1] if len(entry.args) > 1 else entry.kwargs.get("dim", -1)
+    s = entry.output.data
+    return {0: s * (g - (g * s).sum(axis=dim, keepdims=True))}
+
+
+@register_vjp("log_softmax")
+def _log_softmax(entry, g):
+    dim = entry.args[1] if len(entry.args) > 1 else entry.kwargs.get("dim", -1)
+    return {0: g - np.exp(entry.output.data) * g.sum(axis=dim, keepdims=True)}
+
+
+@register_vjp("dropout")
+def _dropout(entry, g):
+    p = entry.args[1] if len(entry.args) > 1 else entry.kwargs.get("p", 0.5)
+    training = entry.kwargs.get(
+        "training", entry.args[2] if len(entry.args) > 2 else True
+    )
+    if not training or p == 0.0:
+        return {0: g}
+    # survivors were scaled by 1/(1-p); recover the mask from the output
+    mask = entry.output.data != 0
+    return {0: g * mask / (1.0 - p)}
+
+
+# ---------------------------------------------------------------------------
+# linear algebra
+# ---------------------------------------------------------------------------
+
+
+@register_vjp("matmul")
+def _matmul(entry, g):
+    a, b = _data(entry.args[0]), _data(entry.args[1])
+    out = {}
+    if hasattr(entry.args[0], "data"):
+        gb_t = np.swapaxes(b, -1, -2)
+        out[0] = _unbroadcast(np.matmul(g, gb_t), a.shape)
+    if hasattr(entry.args[1], "data"):
+        ga_t = np.swapaxes(a, -1, -2)
+        out[1] = _unbroadcast(np.matmul(ga_t, g), b.shape)
+    return out
+
+
+VJP_RULES["mm"] = VJP_RULES["matmul"]
+VJP_RULES["bmm"] = VJP_RULES["matmul"]
+
+
+@register_vjp("linear")
+def _linear(entry, g):
+    x, w = _data(entry.args[0]), _data(entry.args[1])
+    has_bias = len(entry.args) > 2 and entry.args[2] is not None
+    g2 = g.reshape(-1, g.shape[-1])
+    x2 = x.reshape(-1, x.shape[-1])
+    out = {0: np.matmul(g, w).reshape(x.shape), 1: g2.T @ x2}
+    if has_bias:
+        out[2] = g2.sum(axis=0)
+    return out
+
+
+@register_vjp("conv2d")
+def _conv2d(entry, g):
+    from .. import functional as F
+
+    x = _data(entry.args[0])
+    w = _data(entry.args[1])
+    has_bias = len(entry.args) > 2 and entry.args[2] is not None
+    stride = _pair(entry.kwargs.get("stride", entry.args[3] if len(entry.args) > 3 else 1))
+    padding = _pair(entry.kwargs.get("padding", entry.args[4] if len(entry.args) > 4 else 0))
+    dilation = _pair(entry.kwargs.get("dilation", entry.args[5] if len(entry.args) > 5 else 1))
+    groups = entry.kwargs.get("groups", entry.args[6] if len(entry.args) > 6 else 1)
+    if dilation != (1, 1) or groups != 1:
+        raise NotImplementedError("conv2d backward supports dilation=1, groups=1")
+    sh, sw = stride
+    ph, pw = padding
+    f, c, kh, kw = w.shape
+
+    # dL/dx: transposed convolution of g with w (conv_transpose2d expects
+    # weight (C_in, C_out, KH, KW); here C_in is g's F channels, so the
+    # forward weight layout (F, C, KH, KW) is already correct).
+    # output_padding recovers rows the strided forward never reached.
+    oph = x.shape[2] - ((g.shape[2] - 1) * sh - 2 * ph + kh)
+    opw = x.shape[3] - ((g.shape[3] - 1) * sw - 2 * pw + kw)
+    gx = F.conv_transpose2d(
+        Tensor(g.astype(np.float32)), Tensor(w),
+        None, stride=stride, padding=padding, output_padding=(oph, opw),
+    ).data
+
+    # dL/dw: correlate input windows with the output gradient
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    win = sliding_window_view(xp, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+    # win: (N, C, OH, OW, KH, KW); g: (N, F, OH, OW)
+    gw = np.tensordot(g, win, axes=([0, 2, 3], [0, 2, 3]))  # (F, C, KH, KW)
+    out = {0: gx.astype(x.dtype), 1: gw.astype(w.dtype)}
+    if has_bias:
+        out[2] = g.sum(axis=(0, 2, 3))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# shape ops & reductions
+# ---------------------------------------------------------------------------
+
+
+@register_vjp("flatten")
+def _flatten(entry, g):
+    return {0: g.reshape(_data(entry.args[0]).shape)}
+
+
+@register_vjp("reshape")
+def _reshape(entry, g):
+    return {0: g.reshape(_data(entry.args[0]).shape)}
+
+
+@register_vjp("transpose")
+def _transpose(entry, g):
+    d0, d1 = entry.args[1], entry.args[2]
+    return {0: np.swapaxes(g, d0, d1)}
+
+
+@register_vjp("sum")
+def _sum(entry, g):
+    x = _data(entry.args[0])
+    dim = entry.args[1] if len(entry.args) > 1 else entry.kwargs.get("dim")
+    keepdim = entry.kwargs.get("keepdim", False)
+    if dim is None:
+        return {0: np.broadcast_to(g, x.shape).copy()}
+    if not keepdim:
+        g = np.expand_dims(g, axis=dim)
+    return {0: np.broadcast_to(g, x.shape).copy()}
+
+
+@register_vjp("mean")
+def _mean(entry, g):
+    x = _data(entry.args[0])
+    dim = entry.args[1] if len(entry.args) > 1 else entry.kwargs.get("dim")
+    keepdim = entry.kwargs.get("keepdim", False)
+    if dim is None:
+        return {0: np.broadcast_to(g / x.size, x.shape).copy()}
+    count = x.shape[dim]
+    if not keepdim:
+        g = np.expand_dims(g, axis=dim)
+    return {0: np.broadcast_to(g / count, x.shape).copy()}
+
+
+# ---------------------------------------------------------------------------
+# pooling & normalization
+# ---------------------------------------------------------------------------
+
+
+@register_vjp("max_pool2d")
+def _max_pool2d(entry, g):
+    x = _data(entry.args[0])
+    kernel = _pair(entry.args[1] if len(entry.args) > 1 else entry.kwargs["kernel_size"])
+    stride_arg = entry.args[2] if len(entry.args) > 2 else entry.kwargs.get("stride")
+    stride = _pair(stride_arg) if stride_arg is not None else kernel
+    padding = _pair(entry.args[3] if len(entry.args) > 3 else entry.kwargs.get("padding", 0))
+    if stride != kernel or padding != (0, 0):
+        raise NotImplementedError(
+            "max_pool2d backward supports non-overlapping, unpadded pooling"
+        )
+    kh, kw = kernel
+    n, c, h, w = x.shape
+    oh, ow = h // kh, w // kw
+    xw = x[:, :, : oh * kh, : ow * kw].reshape(n, c, oh, kh, ow, kw)
+    out = entry.output.data.reshape(n, c, oh, 1, ow, 1)
+    mask = (xw == out)
+    # split ties evenly (torch picks one; the subgradient is valid either way)
+    counts = mask.sum(axis=(3, 5), keepdims=True)
+    gx = np.zeros_like(x)
+    gx[:, :, : oh * kh, : ow * kw] = (
+        mask * g.reshape(n, c, oh, 1, ow, 1) / counts
+    ).reshape(n, c, oh * kh, ow * kw)
+    return {0: gx}
+
+
+@register_vjp("avg_pool2d")
+def _avg_pool2d(entry, g):
+    x = _data(entry.args[0])
+    kernel = _pair(entry.args[1] if len(entry.args) > 1 else entry.kwargs["kernel_size"])
+    stride_arg = entry.args[2] if len(entry.args) > 2 else entry.kwargs.get("stride")
+    stride = _pair(stride_arg) if stride_arg is not None else kernel
+    padding = _pair(entry.args[3] if len(entry.args) > 3 else entry.kwargs.get("padding", 0))
+    if stride != kernel or padding != (0, 0):
+        raise NotImplementedError(
+            "avg_pool2d backward supports non-overlapping, unpadded pooling"
+        )
+    kh, kw = kernel
+    n, c, h, w = x.shape
+    oh, ow = h // kh, w // kw
+    gx = np.zeros_like(x)
+    gx[:, :, : oh * kh, : ow * kw] = np.broadcast_to(
+        g.reshape(n, c, oh, 1, ow, 1) / (kh * kw), (n, c, oh, kh, ow, kw)
+    ).reshape(n, c, oh * kh, ow * kw)
+    return {0: gx}
+
+
+@register_vjp("adaptive_avg_pool2d")
+def _adaptive_avg_pool2d(entry, g):
+    x = _data(entry.args[0])
+    oh, ow = _pair(entry.args[1])
+    n, c, h, w = x.shape
+    if h % oh or w % ow:
+        raise NotImplementedError("adaptive_avg_pool2d backward needs divisible sizes")
+    kh, kw = h // oh, w // ow
+    gx = np.broadcast_to(
+        g.reshape(n, c, oh, 1, ow, 1) / (kh * kw), (n, c, oh, kh, ow, kw)
+    ).reshape(n, c, h, w)
+    return {0: gx.copy()}
+
+
+@register_vjp("layer_norm")
+def _layer_norm(entry, g):
+    x = _data(entry.args[0])
+    normalized_shape = entry.args[1]
+    if isinstance(normalized_shape, int):
+        normalized_shape = (normalized_shape,)
+    weight = entry.args[2] if len(entry.args) > 2 else entry.kwargs.get("weight")
+    bias = entry.args[3] if len(entry.args) > 3 else entry.kwargs.get("bias")
+    eps = entry.kwargs.get("eps", entry.args[4] if len(entry.args) > 4 else 1e-5)
+    axes = tuple(range(x.ndim - len(normalized_shape), x.ndim))
+    mu = x.mean(axis=axes, keepdims=True)
+    var = x.var(axis=axes, keepdims=True)
+    inv = 1.0 / np.sqrt(var + eps)
+    xhat = (x - mu) * inv
+    gw = _data(weight) if weight is not None else 1.0
+    g_xhat = g * gw
+    m = np.prod([x.shape[a] for a in axes])
+    gx = inv / m * (
+        m * g_xhat
+        - g_xhat.sum(axis=axes, keepdims=True)
+        - xhat * (g_xhat * xhat).sum(axis=axes, keepdims=True)
+    )
+    out = {0: gx.astype(x.dtype)}
+    reduce_axes = tuple(range(x.ndim - len(normalized_shape)))
+    if weight is not None:
+        out[2] = (g * xhat).sum(axis=reduce_axes)
+    if bias is not None:
+        out[3] = g.sum(axis=reduce_axes)
+    return out
+
+
+@register_vjp("batch_norm")
+def _batch_norm(entry, g):
+    x = _data(entry.args[0])
+    weight = entry.args[3] if len(entry.args) > 3 else entry.kwargs.get("weight")
+    bias = entry.args[4] if len(entry.args) > 4 else entry.kwargs.get("bias")
+    training = entry.kwargs.get("training", False)
+    eps = entry.kwargs.get("eps", 1e-5)
+    axes = (0,) + tuple(range(2, x.ndim))
+    shape = [1, x.shape[1]] + [1] * (x.ndim - 2)
+    if training:
+        mu = x.mean(axis=axes, keepdims=True)
+        var = x.var(axis=axes, keepdims=True)
+    else:
+        mu = _data(entry.args[1]).reshape(shape)
+        var = _data(entry.args[2]).reshape(shape)
+    inv = 1.0 / np.sqrt(var + eps)
+    xhat = (x - mu) * inv
+    gw = _data(weight).reshape(shape) if weight is not None else 1.0
+    g_xhat = g * gw
+    out = {}
+    if training:
+        m = x.size / x.shape[1]
+        gx = inv / m * (
+            m * g_xhat
+            - g_xhat.sum(axis=axes, keepdims=True)
+            - xhat * (g_xhat * xhat).sum(axis=axes, keepdims=True)
+        )
+    else:
+        gx = g_xhat * inv
+    out[0] = gx.astype(x.dtype)
+    if weight is not None:
+        out[3] = (g * xhat).sum(axis=axes)
+    if bias is not None:
+        out[4] = g.sum(axis=axes)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# losses & sparse
+# ---------------------------------------------------------------------------
+
+
+@register_vjp("mse_loss")
+def _mse_loss(entry, g):
+    pred, target = _data(entry.args[0]), _data(entry.args[1])
+    reduction = entry.kwargs.get(
+        "reduction", entry.args[2] if len(entry.args) > 2 else "mean"
+    )
+    diff = 2.0 * (pred - target)
+    if reduction == "mean":
+        diff = diff / pred.size
+    out = {0: g * diff}
+    if hasattr(entry.args[1], "data"):
+        out[1] = -g * diff
+    return out
+
+
+@register_vjp("cross_entropy")
+def _cross_entropy(entry, g):
+    logits, target = _data(entry.args[0]), _data(entry.args[1])
+    reduction = entry.kwargs.get(
+        "reduction", entry.args[2] if len(entry.args) > 2 else "mean"
+    )
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(shifted)
+    softmax = e / e.sum(axis=1, keepdims=True)
+    onehot = np.zeros_like(softmax)
+    onehot[np.arange(len(target)), target.astype(np.int64)] = 1.0
+    gx = softmax - onehot
+    if reduction == "mean":
+        gx = gx / len(target)
+    return {0: g * gx}
+
+
+@register_vjp("binary_cross_entropy")
+def _bce(entry, g):
+    p = np.clip(_data(entry.args[0]), 1e-12, 1 - 1e-12)
+    t = _data(entry.args[1])
+    reduction = entry.kwargs.get(
+        "reduction", entry.args[2] if len(entry.args) > 2 else "mean"
+    )
+    gx = (p - t) / (p * (1 - p))
+    if reduction == "mean":
+        gx = gx / p.size
+    return {0: g * gx}
+
+
+@register_vjp("fake_quantize_per_tensor")
+def _fake_quantize(entry, g):
+    # straight-through estimator: the snap is identity for gradients
+    return {0: g}
+
+
+@register_vjp("embedding")
+def _embedding(entry, g):
+    idx = _data(entry.args[0]).astype(np.int64)
+    w = _data(entry.args[1])
+    gw = np.zeros_like(w)
+    np.add.at(gw, idx.reshape(-1), g.reshape(-1, w.shape[1]))
+    return {1: gw}
+
+
+@register_vjp("interpolate")
+def _interpolate(entry, g):
+    x = _data(entry.args[0])
+    mode = entry.kwargs.get("mode", "nearest")
+    if mode != "nearest":
+        raise NotImplementedError("interpolate backward supports nearest mode")
+    h, w = x.shape[2], x.shape[3]
+    oh, ow = g.shape[2], g.shape[3]
+    rows = np.minimum((np.arange(oh) * (h / oh)).astype(np.int64), h - 1)
+    cols = np.minimum((np.arange(ow) * (w / ow)).astype(np.int64), w - 1)
+    gx = np.zeros_like(x)
+    # scatter-add each output gradient back to its nearest source pixel
+    np.add.at(gx, (slice(None), slice(None), rows[:, None], cols[None, :]), g)
+    return {0: gx}
+
+
+@register_vjp("conv_transpose2d")
+def _conv_transpose2d(entry, g):
+    """Backward of the transposed conv: dx is a plain convolution of g
+    with the same (un-flipped) weight; dw correlates g-windows with x."""
+    from .. import functional as F
+
+    x = _data(entry.args[0])
+    w = _data(entry.args[1])
+    has_bias = len(entry.args) > 2 and entry.args[2] is not None
+    stride = _pair(entry.kwargs.get("stride", entry.args[3] if len(entry.args) > 3 else 1))
+    padding = _pair(entry.kwargs.get("padding", entry.args[4] if len(entry.args) > 4 else 0))
+    out_pad = _pair(entry.kwargs.get(
+        "output_padding", entry.args[5] if len(entry.args) > 5 else 0
+    ))
+    if out_pad != (0, 0):
+        # trim the revealed rows: they receive gradient but correspond to
+        # the same forward scatter, handled by conv with cropped g
+        g = g[:, :, : g.shape[2] - out_pad[0] or None,
+              : g.shape[3] - out_pad[1] or None]
+    c_in, f, kh, kw = w.shape
+    # dL/dx: forward conv of g with weight in (C_in, F) -> conv weight
+    # layout (C_in, F, KH, KW) == w; conv2d expects (F_out, C_in, kh, kw)
+    gx = F.conv2d(
+        Tensor(g.astype(np.float32)), Tensor(np.ascontiguousarray(w)),
+        None, stride=stride, padding=padding,
+    ).data
+    # dL/dw[c, f, i, j] = sum_n,h,w x[n,c,h,w] * g[n,f, h*sh - ph + i, ...]
+    sh, sw = stride
+    ph, pw = padding
+    gp = np.pad(g, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    win = sliding_window_view(gp, (kh, kw), axis=(2, 3))[:, :, ::sh, ::sw]
+    # win: (N, F, H, W, KH, KW); x: (N, C, H, W)
+    gw = np.tensordot(x, win, axes=([0, 2, 3], [0, 2, 3]))  # (C, F, KH, KW)
+    out = {0: gx.astype(x.dtype), 1: gw.astype(w.dtype)}
+    if has_bias:
+        out[2] = g.sum(axis=(0, 2, 3))
+    return out

@@ -1,0 +1,6 @@
+"""Benchmark support utilities (timing + table formatting)."""
+
+from .tables import format_table, print_table
+from .timer import TimingResult, measure
+
+__all__ = ["TimingResult", "format_table", "measure", "print_table"]

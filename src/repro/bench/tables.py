@@ -1,0 +1,41 @@
+"""Plain-text table rendering for benchmark reports (no dependencies)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str | None = None, floatfmt: str = ".4f") -> str:
+    """Render a fixed-width table.
+
+    Floats are formatted with *floatfmt*; everything else via ``str``.
+    """
+    def cell(v: Any) -> str:
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), sum(widths) + 2 * (len(widths) - 1)))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                title: str | None = None, floatfmt: str = ".4f") -> str:
+    out = format_table(headers, rows, title, floatfmt)
+    print("\n" + out + "\n")
+    return out

@@ -1,0 +1,43 @@
+"""``repro.fx`` — program capture and transformation (the paper's system).
+
+Public surface mirrors ``torch.fx``:
+
+* :func:`symbolic_trace` / :class:`Tracer` — program capture (§4.1);
+* :class:`Graph` / :class:`Node` — the 6-opcode IR (§4.2);
+* :class:`GraphModule` — stateful container + code generation (§4.3);
+* :class:`Interpreter` / :class:`Transformer` — graph execution and
+  rewriting;
+* :func:`replace_pattern` — declarative subgraph rewriting;
+* :mod:`repro.fx.passes` — shape propagation, fusion, splitting,
+  visualization, cost modelling, scheduling.
+"""
+
+from .graph import Graph, PythonCode
+from .graph_module import GraphModule
+from .interpreter import Interpreter, Transformer
+from .node import Node, map_arg, map_aggregate
+from .proxy import Attribute, Proxy, TraceError
+from .subgraph_rewriter import Match, replace_pattern
+from .tracer import Tracer, TracerBase, symbolic_trace, wrap
+from . import passes
+
+__all__ = [
+    "Attribute",
+    "Graph",
+    "GraphModule",
+    "Interpreter",
+    "Match",
+    "Node",
+    "Proxy",
+    "PythonCode",
+    "TraceError",
+    "Tracer",
+    "TracerBase",
+    "Transformer",
+    "map_aggregate",
+    "map_arg",
+    "passes",
+    "replace_pattern",
+    "symbolic_trace",
+    "wrap",
+]

@@ -1,0 +1,567 @@
+"""``Graph`` — the DAG container for fx IR, and Python code generation.
+
+A Graph is a linear series of :class:`~repro.fx.node.Node` objects
+(threaded on a doubly-linked list whose order *is* the topological order),
+plus the machinery the paper describes in §4.3: regenerating valid Python
+source from the IR so transformed programs stay inside the Python
+ecosystem.
+"""
+
+from __future__ import annotations
+
+import builtins
+import keyword
+import operator
+import re
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, TYPE_CHECKING
+
+from .node import Node, Target, map_arg, map_aggregate, BASE_ARGUMENT_TYPES
+
+if TYPE_CHECKING:
+    from .graph_module import GraphModule
+
+__all__ = ["Graph", "PythonCode"]
+
+
+@dataclass
+class PythonCode:
+    """The result of code generation.
+
+    Attributes:
+        src: the text of a ``def forward(self, ...)`` function.
+        globals: objects the source refers to by name (call_function
+            targets, dtypes, …); must be in scope when ``src`` is exec'd.
+    """
+
+    src: str
+    globals: dict[str, Any]
+
+
+class _Namespace:
+    """Allocates unique, legal Python identifiers.
+
+    Associates names with objects so the same object asked for twice gets
+    the same name (used for the globals table).
+    """
+
+    def __init__(self) -> None:
+        self._used: set[str] = set()
+        self._obj_names: dict[int, str] = {}
+        self._base_count: dict[str, int] = {}
+
+    ILLEGAL = re.compile(r"[^0-9a-zA-Z_]+")
+
+    def create_name(self, candidate: str, obj: Any = None) -> str:
+        if obj is not None and id(obj) in self._obj_names:
+            return self._obj_names[id(obj)]
+        candidate = self.ILLEGAL.sub("_", candidate) or "_unnamed"
+        if candidate[0].isdigit():
+            candidate = f"_{candidate}"
+        while (
+            candidate in self._used
+            or keyword.iskeyword(candidate)
+            or hasattr(builtins, candidate)
+            or candidate in ("self",)
+        ):
+            n = self._base_count.get(candidate, 0) + 1
+            self._base_count[candidate] = n
+            new = f"{candidate}_{n}"
+            if new not in self._used and not keyword.iskeyword(new):
+                candidate = new
+                break
+        self._used.add(candidate)
+        if obj is not None:
+            self._obj_names[id(obj)] = candidate
+        return candidate
+
+    def associate(self, name: str, obj: Any) -> None:
+        self._obj_names[id(obj)] = name
+        self._used.add(name)
+
+
+class _InsertPoint:
+    def __init__(self, graph: "Graph", new_insert: Node):
+        self.graph = graph
+        self.new_insert = new_insert
+
+    def __enter__(self):
+        self.orig_insert = self.graph._insert_before
+        self.graph._insert_before = self.new_insert
+        return self
+
+    def __exit__(self, *exc):
+        self.graph._insert_before = self.orig_insert
+        return False
+
+
+class _NodeList:
+    """Live view over a Graph's nodes.
+
+    Iteration snapshots the successor pointer before yielding, so erasing
+    the node currently being visited is safe.
+    """
+
+    def __init__(self, graph: "Graph", direction: str = "next"):
+        self._graph = graph
+        self._direction = direction
+
+    def __len__(self) -> int:
+        return self._graph._len
+
+    def __iter__(self) -> Iterator[Node]:
+        root = self._graph._root
+        cur = getattr(root, f"_{self._direction}")
+        while cur is not root:
+            nxt = getattr(cur, f"_{self._direction}")
+            if not cur._erased:
+                yield cur
+            cur = nxt
+
+    def __reversed__(self) -> Iterator[Node]:
+        return iter(_NodeList(self._graph, "prev"))
+
+
+# Inline formatting for operator.* call_function targets, so generated code
+# reads like the user wrote it ("add = x + y" instead of "operator.add(x, y)").
+_MAGIC_FORMATS: dict[Callable, str] = {
+    operator.add: "{} + {}",
+    operator.sub: "{} - {}",
+    operator.mul: "{} * {}",
+    operator.truediv: "{} / {}",
+    operator.floordiv: "{} // {}",
+    operator.mod: "{} % {}",
+    operator.pow: "{} ** {}",
+    operator.matmul: "{} @ {}",
+    operator.lt: "{} < {}",
+    operator.le: "{} <= {}",
+    operator.gt: "{} > {}",
+    operator.ge: "{} >= {}",
+    operator.eq: "{} == {}",
+    operator.ne: "{} != {}",
+    operator.and_: "{} & {}",
+    operator.or_: "{} | {}",
+    operator.xor: "{} ^ {}",
+    operator.lshift: "{} << {}",
+    operator.rshift: "{} >> {}",
+    operator.neg: "-{}",
+    operator.pos: "+{}",
+    operator.invert: "~{}",
+    operator.getitem: "{}[{}]",
+}
+
+
+class Graph:
+    """A functional DAG of tensor operations.
+
+    Create nodes with :meth:`create_node` or the per-opcode conveniences
+    (:meth:`placeholder`, :meth:`call_function`, …).  Insertion position is
+    controlled with :meth:`inserting_before` / :meth:`inserting_after`.
+    Turn the graph back into Python with :meth:`python_code` (usually via
+    :class:`~repro.fx.GraphModule`, which also holds the state).
+    """
+
+    def __init__(self) -> None:
+        self._root: Node = Node.__new__(Node)  # sentinel; not a real node
+        self._root._prev = self._root._next = self._root
+        self._root._erased = False
+        self._root.name = "__ROOT__"
+        self._used_names = _Namespace()
+        self._insert_before: Node = self._root  # append at end by default
+        self._len = 0
+        self.owning_module: Optional["GraphModule"] = None
+
+    def __getstate__(self):
+        # owning_module back-reference would create a reduce-argument cycle
+        # when pickling a GraphModule; it is reattached by the graph
+        # property setter on load.
+        state = dict(self.__dict__)
+        state["owning_module"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+    # -- node access -----------------------------------------------------------
+
+    @property
+    def nodes(self) -> _NodeList:
+        return _NodeList(self)
+
+    def find_nodes(self, *, op: str, target: Any = None) -> list[Node]:
+        """All nodes matching an opcode (and optionally a target)."""
+        return [
+            n for n in self.nodes
+            if n.op == op and (target is None or n.target == target)
+        ]
+
+    @property
+    def output_node(self) -> Node:
+        for n in reversed(self.nodes):
+            if n.op == "output":
+                return n
+        raise RuntimeError("graph has no output node")
+
+    # -- construction -------------------------------------------------------------
+
+    def create_node(
+        self,
+        op: str,
+        target: Target,
+        args: tuple | None = None,
+        kwargs: dict | None = None,
+        name: str | None = None,
+        type_expr: Any | None = None,
+    ) -> Node:
+        """Create a Node and insert it at the current insert point."""
+        args = args if args is not None else ()
+        kwargs = kwargs if kwargs is not None else {}
+        candidate = name if name is not None else self._target_to_name(op, target)
+        unique = self._used_names.create_name(candidate)
+        node = Node(self, unique, op, target, args, kwargs, type_expr)
+        self._insert_before.prepend(node)
+        self._len += 1
+        return node
+
+    def _target_to_name(self, op: str, target: Target) -> str:
+        if op == "placeholder":
+            return str(target).lstrip("*")
+        if op == "output":
+            return "output"
+        if op in ("call_module", "get_attr"):
+            return str(target).replace(".", "_")
+        if op == "call_method":
+            return str(target)
+        # call_function
+        name = getattr(target, "__name__", None) or "function"
+        return name
+
+    # convenience creators, one per opcode ------------------------------------------
+
+    def placeholder(self, name: str, type_expr: Any | None = None,
+                    default_value: Any = ...) -> Node:
+        args = () if default_value is ... else (default_value,)
+        return self.create_node("placeholder", name, args, {}, type_expr=type_expr)
+
+    def get_attr(self, qualified_name: str, type_expr: Any | None = None) -> Node:
+        return self.create_node("get_attr", qualified_name, (), {}, type_expr=type_expr)
+
+    def call_function(self, the_function: Callable, args: tuple | None = None,
+                      kwargs: dict | None = None, type_expr: Any | None = None) -> Node:
+        return self.create_node("call_function", the_function, args, kwargs,
+                                type_expr=type_expr)
+
+    def call_method(self, method_name: str, args: tuple | None = None,
+                    kwargs: dict | None = None, type_expr: Any | None = None) -> Node:
+        return self.create_node("call_method", method_name, args, kwargs,
+                                type_expr=type_expr)
+
+    def call_module(self, module_name: str, args: tuple | None = None,
+                    kwargs: dict | None = None, type_expr: Any | None = None) -> Node:
+        return self.create_node("call_module", module_name, args, kwargs,
+                                type_expr=type_expr)
+
+    def output(self, result: Any, type_expr: Any | None = None) -> Node:
+        return self.create_node("output", "output", (result,), {}, type_expr=type_expr)
+
+    # -- insertion points --------------------------------------------------------------
+
+    def inserting_before(self, node: Node | None = None) -> _InsertPoint:
+        """Context manager: new nodes go immediately before *node*
+        (or at the end of the graph if None)."""
+        return _InsertPoint(self, node if node is not None else self._root)
+
+    def inserting_after(self, node: Node | None = None) -> _InsertPoint:
+        """Context manager: new nodes go immediately after *node*
+        (or at the beginning of the graph if None)."""
+        anchor = node._next if node is not None else self._root._next
+        return _InsertPoint(self, anchor)
+
+    # -- surgery --------------------------------------------------------------------------
+
+    def erase_node(self, to_erase: Node) -> None:
+        """Remove a node; it must have no remaining users."""
+        if to_erase.users:
+            raise RuntimeError(
+                f"cannot erase node {to_erase.name!r}: it still has "
+                f"{len(to_erase.users)} users ({list(to_erase.users)})"
+            )
+        if to_erase.graph is not self:
+            raise RuntimeError(f"node {to_erase.name!r} does not belong to this graph")
+        to_erase._remove_from_list()
+        to_erase._erased = True
+        self._len -= 1
+        # Drop our uses of other nodes.
+        to_erase.args = ()
+        to_erase.kwargs = {}
+
+    def node_copy(self, node: Node, arg_transform: Callable[[Node], Any] = lambda n: n) -> Node:
+        """Copy a node from another graph into this one, rewriting its Node
+        arguments with *arg_transform*."""
+        args = map_arg(node.args, arg_transform)
+        kwargs = map_arg(node.kwargs, arg_transform)
+        result = self.create_node(node.op, node.target, args, kwargs, node.name, node.type)
+        result.meta = dict(node.meta)
+        return result
+
+    def graph_copy(self, g: "Graph", val_map: dict[Node, Node]) -> Any:
+        """Append a copy of all of *g*'s nodes (except its output) to this
+        graph.  ``val_map`` is filled with old→new correspondences.
+
+        Returns the mapped value of *g*'s output argument.
+        """
+        for node in g.nodes:
+            if node in val_map:
+                continue
+            if node.op == "output":
+                return map_arg(node.args[0], lambda n: val_map[n])
+            val_map[node] = self.node_copy(node, lambda n: val_map[n])
+        return None
+
+    def eliminate_dead_code(self) -> bool:
+        """Remove nodes with no users (except placeholders/outputs).
+
+        The basic-block IR makes this a single reverse sweep — no fixpoint
+        iteration needed (§5.5).  Returns True if anything was removed.
+        """
+        changed = False
+        for node in reversed(self.nodes):
+            if not node.is_impure() and len(node.users) == 0:
+                self.erase_node(node)
+                changed = True
+        return changed
+
+    def lint(self) -> None:
+        """Check IR well-formedness.
+
+        Verifies: unique names, valid opcodes, topological ordering of
+        uses, def-use chain consistency, targets resolvable against the
+        owning module (when one is attached).
+        """
+        seen_names: set[str] = set()
+        seen_values: set[Node] = set()
+        placeholders_done = False
+        for node in self.nodes:
+            if node.op not in (
+                "placeholder", "call_method", "call_module", "call_function",
+                "get_attr", "output",
+            ):
+                raise RuntimeError(f"node {node.name!r} has invalid opcode {node.op!r}")
+            if node.name in seen_names:
+                raise RuntimeError(f"duplicate node name {node.name!r}")
+            seen_names.add(node.name)
+            if node.op != "placeholder":
+                placeholders_done = True
+            elif placeholders_done:
+                raise RuntimeError(
+                    f"placeholder {node.name!r} appears after non-placeholder nodes"
+                )
+
+            def check(arg):
+                if isinstance(arg, Node):
+                    if arg.graph is not self:
+                        raise RuntimeError(
+                            f"node {node.name!r} uses {arg.name!r} from a different graph"
+                        )
+                    if arg not in seen_values:
+                        raise RuntimeError(
+                            f"node {node.name!r} uses {arg.name!r} before it is defined"
+                        )
+                    if node not in arg.users:
+                        raise RuntimeError(
+                            f"def-use chain broken: {node.name!r} not in users of {arg.name!r}"
+                        )
+                return arg
+
+            map_aggregate(node.args, check)
+            map_aggregate(node.kwargs, check)
+            seen_values.add(node)
+
+        if self.owning_module is not None:
+            root = self.owning_module
+            for node in self.nodes:
+                if node.op == "call_module":
+                    root.get_submodule(node.target)
+                elif node.op == "get_attr":
+                    _resolve_attr(root, node.target)
+
+    # -- printing --------------------------------------------------------------------------
+
+    def print_tabular(self) -> str:
+        """Plain-text table of the graph (returned and printed)."""
+        rows = [("opcode", "name", "target", "args", "kwargs")]
+        for n in self.nodes:
+            rows.append((n.op, n.name, str(n._pretty_print_target()),
+                         str(n.args), str(n.kwargs)))
+        widths = [max(len(r[i]) for r in rows) for i in range(5)]
+        lines = []
+        for i, r in enumerate(rows):
+            lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip())
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        out = "\n".join(lines)
+        print(out)
+        return out
+
+    def __str__(self) -> str:
+        body = "\n".join(f"    {n.format_node()}" for n in self.nodes)
+        placeholders = ", ".join(f"%{n.name}" for n in self.nodes if n.op == "placeholder")
+        return f"graph({placeholders}):\n{body}"
+
+    def __len__(self) -> int:
+        return self._len
+
+    # -- code generation ------------------------------------------------------------------------
+
+    def python_code(self, root_module: str = "self") -> PythonCode:
+        """Generate Python source for this graph (§4.3).
+
+        The generated function takes the placeholders as arguments, calls
+        targets in graph order, frees intermediates as soon as they are
+        dead (``x = None``), and returns the output node's argument — the
+        exact style shown in the paper's Figure 1.
+        """
+        free_vars: list[str] = []
+        body: list[str] = []
+        globals_: dict[str, Any] = {}
+        globals_ns = _Namespace()
+
+        def add_global(name_hint: str, obj: Any) -> str:
+            name = globals_ns.create_name(name_hint, obj)
+            globals_[name] = obj
+            return name
+
+        # last-use bookkeeping for "; x = None"
+        node_to_last_use: dict[Node, Node] = {}
+        user_to_last_uses: dict[Node, list[Node]] = {}
+        for node in self.nodes:
+            def register_use(n: Node):
+                if n not in node_to_last_use:
+                    pass
+                node_to_last_use[n] = node
+                return n
+            map_arg(node.args, register_use)
+            map_arg(node.kwargs, register_use)
+        for used, user in node_to_last_use.items():
+            user_to_last_uses.setdefault(user, []).append(used)
+
+        def delete_unused(node: Node) -> str:
+            if node.op == "output":
+                return ""
+            dead = [n.name for n in user_to_last_uses.get(node, [])]
+            if not dead:
+                return ""
+            return f";  {' = '.join(dead)} = None"
+
+        def arg_repr(a: Any) -> str:
+            if isinstance(a, Node):
+                return a.name
+            if isinstance(a, tuple):
+                inner = ", ".join(arg_repr(x) for x in a)
+                return f"({inner},)" if len(a) == 1 else f"({inner})"
+            if isinstance(a, list):
+                return "[" + ", ".join(arg_repr(x) for x in a) + "]"
+            if isinstance(a, dict):
+                return "{" + ", ".join(f"{arg_repr(k)}: {arg_repr(v)}" for k, v in a.items()) + "}"
+            if isinstance(a, slice):
+                return f"slice({arg_repr(a.start)}, {arg_repr(a.stop)}, {arg_repr(a.step)})"
+            if isinstance(a, float):
+                # repr(inf) is not valid source; route through a global
+                if a != a or a in (float("inf"), float("-inf")):
+                    return add_global("_float_const", a)
+                return repr(a)
+            if isinstance(a, BASE_ARGUMENT_TYPES):
+                return repr(a)
+            if callable(a) or not isinstance(a, BASE_ARGUMENT_TYPES):
+                hint = getattr(a, "__name__", type(a).__name__)
+                return add_global(str(hint), a)
+            return repr(a)
+
+        def module_expr(target: str) -> str:
+            expr = root_module
+            for atom in target.split("."):
+                if atom.isidentifier() and not keyword.iskeyword(atom):
+                    expr += f".{atom}"
+                else:
+                    expr = f"getattr({expr}, {atom!r})"
+            return expr
+
+        def call_args(node: Node, skip_first: bool = False) -> str:
+            args = node.args[1:] if skip_first else node.args
+            parts = [arg_repr(a) for a in args]
+            parts += [f"{k} = {arg_repr(v)}" for k, v in node.kwargs.items()]
+            return ", ".join(parts)
+
+        for node in self.nodes:
+            if node.op == "placeholder":
+                assert isinstance(node.target, str)
+                if node.target.startswith("*"):
+                    free_vars.append(node.target)
+                else:
+                    default = f" = {arg_repr(node.args[0])}" if node.args else ""
+                    free_vars.append(f"{node.target}{default}")
+                if node.name != node.target.lstrip("*"):
+                    body.append(f"{node.name} = {node.target.lstrip('*')}\n")
+                continue
+            if node.op == "get_attr":
+                body.append(f"{node.name} = {module_expr(node.target)}{delete_unused(node)}\n")
+                continue
+            if node.op == "call_module":
+                body.append(
+                    f"{node.name} = {module_expr(node.target)}"
+                    f"({call_args(node)}){delete_unused(node)}\n"
+                )
+                continue
+            if node.op == "call_method":
+                self_arg, *_ = node.args
+                body.append(
+                    f"{node.name} = {arg_repr(self_arg)}.{node.target}"
+                    f"({call_args(node, skip_first=True)}){delete_unused(node)}\n"
+                )
+                continue
+            if node.op == "call_function":
+                fmt = _MAGIC_FORMATS.get(node.target)
+                if fmt is not None and not node.kwargs:
+                    rendered = fmt.format(*[arg_repr(a) for a in node.args])
+                    body.append(f"{node.name} = {rendered}{delete_unused(node)}\n")
+                    continue
+                if node.target is getattr and len(node.args) == 2 and isinstance(
+                    node.args[1], str
+                ) and node.args[1].isidentifier() and not node.kwargs:
+                    body.append(
+                        f"{node.name} = {arg_repr(node.args[0])}.{node.args[1]}"
+                        f"{delete_unused(node)}\n"
+                    )
+                    continue
+                fname = add_global(_global_name_for(node.target), node.target)
+                body.append(f"{node.name} = {fname}({call_args(node)}){delete_unused(node)}\n")
+                continue
+            if node.op == "output":
+                body.append(f"return {arg_repr(node.args[0])}\n")
+                continue
+            raise RuntimeError(f"unhandled opcode {node.op!r}")
+
+        if not body:
+            body.append("pass\n")
+        code = "".join("    " + line for line in body)
+        src = f"def forward({', '.join(['self'] + free_vars)}):\n{code}"
+        return PythonCode(src, globals_)
+
+
+def _global_name_for(fn: Callable) -> str:
+    mod = getattr(fn, "__module__", "") or ""
+    name = getattr(fn, "__name__", "function")
+    mod_tail = mod.rsplit(".", 1)[-1] if mod else ""
+    if mod_tail and mod_tail not in ("builtins",):
+        return f"{mod_tail}_{name}"
+    return name
+
+
+def _resolve_attr(root, target: str):
+    obj = root
+    for atom in target.split("."):
+        if not hasattr(obj, atom):
+            raise RuntimeError(f"attribute target {target!r} not resolvable at {atom!r}")
+        obj = getattr(obj, atom)
+    return obj

@@ -1,0 +1,294 @@
+"""``GraphModule`` — a Graph paired with the module state it references.
+
+GraphModule is a real ``nn.Module`` (§4.2): it owns the parameters, buffers
+and submodules that its Graph's ``call_module`` / ``get_attr`` nodes refer
+to, and its ``forward`` is *generated Python source* compiled from the
+Graph (§4.3).  That makes transformed programs first-class citizens: they
+can be called, further transformed, re-traced (Figure 3), saved to disk
+(:meth:`GraphModule.to_folder`), and composed with untransformed modules.
+"""
+
+from __future__ import annotations
+
+import linecache
+import os
+import pickle
+import types
+from typing import Any
+
+from ..nn import Module, Parameter
+from ..tensor import Tensor
+from .graph import Graph, PythonCode
+
+__all__ = ["GraphModule"]
+
+# Each generated forward gets a unique pseudo-filename registered in
+# linecache so pdb / tracebacks can show the generated source (§5.4).
+_NEXT_CODE_ID = [0]
+
+
+def _register_source(src: str) -> str:
+    filename = f"<fx-generated-{_NEXT_CODE_ID[0]}>"
+    _NEXT_CODE_ID[0] += 1
+    linecache.cache[filename] = (len(src), None, src.splitlines(True), filename)
+    return filename
+
+
+def _rebuild_graph_module(cls: type, state: dict) -> "GraphModule":
+    gm = cls.__new__(cls)
+    Module.__init__(gm)
+    gm._modules.update(state["modules"])
+    gm._parameters.update(state["parameters"])
+    gm._buffers.update(state["buffers"])
+    for k, v in state["plain"].items():
+        object.__setattr__(gm, k, v)
+    gm.graph = state["graph"]  # property setter recompiles forward
+    return gm
+
+
+def _copy_attr(src: Module, dst: Module, target: str) -> None:
+    """Copy the attribute at dotted path *target* from one module tree to
+    another, creating intermediate containers as needed."""
+    *prefix, leaf = target.split(".")
+    src_cursor, dst_cursor = src, dst
+    for atom in prefix:
+        src_cursor = getattr(src_cursor, atom)
+        nxt = dst_cursor._modules.get(atom)
+        if nxt is None:
+            nxt = Module()
+            dst_cursor.add_module(atom, nxt)
+        dst_cursor = nxt
+    value = getattr(src_cursor, leaf)
+    _assign_attr(dst_cursor, leaf, value, buffer_hint=leaf in getattr(src_cursor, "_buffers", {}))
+
+
+def _assign_attr(mod: Module, name: str, value: Any, buffer_hint: bool = False) -> None:
+    if isinstance(value, Parameter) or isinstance(value, Module):
+        setattr(mod, name, value)
+    elif isinstance(value, Tensor) and buffer_hint:
+        mod.register_buffer(name, value)
+    else:
+        setattr(mod, name, value)
+
+
+class GraphModule(Module):
+    """Container for a transformed program.
+
+    Args:
+        root: a Module whose attributes referenced by the graph are copied
+            in, or a plain ``dict`` mapping qualified names to values.
+        graph: the Graph this module executes.
+        class_name: name used in ``repr`` and ``to_folder`` output.
+
+    The ``graph`` property is assignable; assignment triggers
+    :meth:`recompile`, regenerating ``forward`` from the new graph.
+    """
+
+    def __init__(self, root: Module | dict, graph: Graph, class_name: str = "GraphModule"):
+        super().__init__()
+        self._class_name = class_name
+        targets = {
+            node.target
+            for node in graph.nodes
+            if node.op in ("call_module", "get_attr")
+        }
+        if isinstance(root, Module):
+            object.__setattr__(self, "training", root.training)
+            for target in sorted(targets):
+                _copy_attr(root, self, target)
+        elif isinstance(root, dict):
+            for target in sorted(targets):
+                if target not in root:
+                    raise RuntimeError(
+                        f"graph refers to {target!r} but it is missing from the root dict"
+                    )
+                *prefix, leaf = target.split(".")
+                cursor: Module = self
+                for atom in prefix:
+                    nxt = cursor._modules.get(atom)
+                    if nxt is None:
+                        nxt = Module()
+                        cursor.add_module(atom, nxt)
+                    cursor = nxt
+                value = root[target]
+                _assign_attr(cursor, leaf, value,
+                             buffer_hint=isinstance(value, Tensor)
+                             and not isinstance(value, Parameter))
+        else:
+            raise TypeError(f"root must be a Module or dict, got {type(root).__name__}")
+        self.graph = graph
+
+    # -- graph / code ------------------------------------------------------------
+
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @graph.setter
+    def graph(self, g: Graph) -> None:
+        object.__setattr__(self, "_graph", g)
+        g.owning_module = self
+        self.recompile()
+
+    @property
+    def code(self) -> str:
+        """The generated Python source of ``forward``."""
+        if not hasattr(self, "_code"):
+            raise RuntimeError("GraphModule has no code; call recompile()")
+        return self._code
+
+    def recompile(self) -> PythonCode:
+        """Regenerate and install ``forward`` from the current graph."""
+        python_code = self._graph.python_code(root_module="self")
+        self._code = python_code.src
+        filename = _register_source(self._code)
+        globals_ = dict(python_code.globals)
+        exec(compile(self._code, filename, "exec"), globals_)
+        fn = globals_["forward"]
+        object.__setattr__(self, "forward", types.MethodType(fn, self))
+        return python_code
+
+    def print_readable(self) -> str:
+        """Print (and return) the generated code."""
+        print(self._code)
+        return self._code
+
+    # -- submodule management -------------------------------------------------------
+
+    def add_submodule(self, target: str, m: Module) -> bool:
+        """Install *m* at dotted path *target*, creating intermediate
+        plain Modules along the way.  Returns False if a non-Module sits
+        where an intermediate is needed."""
+        *prefix, leaf = target.split(".")
+        cursor: Module = self
+        for atom in prefix:
+            nxt = cursor._modules.get(atom)
+            if nxt is None:
+                nxt = Module()
+                cursor.add_module(atom, nxt)
+            if not isinstance(nxt, Module):
+                return False
+            cursor = nxt
+        cursor.add_module(leaf, m)
+        return True
+
+    def delete_submodule(self, target: str) -> bool:
+        """Remove the submodule at *target*. Returns False if absent."""
+        *prefix, leaf = target.split(".")
+        cursor: Module = self
+        for atom in prefix:
+            nxt = cursor._modules.get(atom)
+            if nxt is None:
+                return False
+            cursor = nxt
+        if leaf not in cursor._modules:
+            return False
+        del cursor._modules[leaf]
+        return True
+
+    def delete_all_unused_submodules(self) -> None:
+        """Drop submodules not referenced by any call_module/get_attr node.
+
+        Used after transforms that replace module calls (e.g. fusion) so
+        the module tree does not keep dead state alive.
+        """
+        used: set[str] = set()
+        for node in self._graph.nodes:
+            if node.op in ("call_module", "get_attr"):
+                path = node.target.split(".")
+                for i in range(1, len(path) + 1):
+                    used.add(".".join(path[:i]))
+
+        def prune(mod: Module, prefix: str) -> None:
+            for name in list(mod._modules):
+                child_path = f"{prefix}.{name}" if prefix else name
+                child = mod._modules[name]
+                if child_path not in used:
+                    # keep containers that still have used descendants
+                    if any(u.startswith(child_path + ".") for u in used):
+                        prune(child, child_path)
+                    else:
+                        del mod._modules[name]
+                else:
+                    prune(child, child_path)
+
+        prune(self, "")
+
+    # -- persistence -------------------------------------------------------------------
+
+    def to_folder(self, folder: str, module_name: str = "FxModule") -> None:
+        """Write the generated module out as an importable Python package.
+
+        Produces ``<folder>/module.py`` containing a class whose
+        ``__init__`` loads pickled state and whose ``forward`` is this
+        module's generated code, plus ``state.pkl`` holding the module's
+        submodules, parameters and buffers.
+        """
+        os.makedirs(folder, exist_ok=True)
+        state = {
+            "submodules": dict(self._modules),
+            "parameters": dict(self._parameters),
+            "buffers": dict(self._buffers),
+        }
+        with open(os.path.join(folder, "state.pkl"), "wb") as f:
+            pickle.dump(state, f)
+
+        # Re-indent the generated forward as a method body.
+        fwd_lines = self._code.splitlines()
+        fwd = "\n".join("    " + line for line in fwd_lines)
+        src = f'''"""Auto-generated by repro.fx GraphModule.to_folder()."""
+import os
+import pickle
+
+import repro
+import repro.functional
+from repro import nn
+from repro.nn import Module
+
+
+class {module_name}(Module):
+    def __init__(self):
+        super().__init__()
+        state_path = os.path.join(os.path.dirname(__file__), "state.pkl")
+        with open(state_path, "rb") as f:
+            state = pickle.load(f)
+        for name, mod in state["submodules"].items():
+            self.add_module(name, mod)
+        for name, p in state["parameters"].items():
+            self.register_parameter(name, p)
+        for name, b in state["buffers"].items():
+            self.register_buffer(name, b)
+
+{fwd}
+'''
+        with open(os.path.join(folder, "module.py"), "w") as f:
+            f.write(src)
+        with open(os.path.join(folder, "__init__.py"), "w") as f:
+            f.write(f"from .module import {module_name}\n")
+
+    # -- serialization ---------------------------------------------------------------------
+
+    def __reduce__(self):
+        """Pickle support: serialize registration tables + the Graph, and
+        regenerate ``forward`` on load (the compiled method itself is not
+        picklable, and does not need to be — codegen is deterministic)."""
+        plain = {
+            k: v for k, v in self.__dict__.items()
+            if k not in ("_graph", "_code", "forward",
+                         "_parameters", "_buffers", "_modules")
+        }
+        state = {
+            "modules": dict(self._modules),
+            "parameters": dict(self._parameters),
+            "buffers": dict(self._buffers),
+            "plain": plain,
+            "graph": self._graph,
+        }
+        return (_rebuild_graph_module, (type(self), state))
+
+    # -- repr -----------------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        base = super().__repr__()
+        return f"{self._class_name}(\n  (generated forward follows)\n){os.linesep}{self._code}" \
+            if hasattr(self, "_code") else base

@@ -1,0 +1,172 @@
+"""``Interpreter`` and ``Transformer`` — node-by-node graph execution.
+
+An Interpreter runs a GraphModule one Node at a time with overridable
+per-opcode methods.  This is the substrate for analysis passes (e.g.
+:class:`~repro.fx.passes.shape_prop.ShapeProp` observes real shapes flow
+by) and for ``Transformer``, which re-emits each node through a Tracer to
+build a transformed copy of the graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from ..nn import Module
+from .graph import Graph
+from .graph_module import GraphModule
+from .node import Node, map_arg, map_aggregate
+from .proxy import Proxy
+from .tracer import Tracer
+
+__all__ = ["Interpreter", "Transformer"]
+
+
+class Interpreter:
+    """Executes a GraphModule node-by-node.
+
+    Override the per-opcode methods (:meth:`placeholder`,
+    :meth:`call_function`, …) or :meth:`run_node` to observe or modify
+    execution.  Intermediate values are freed as soon as their last user
+    has run (``garbage_collect_values=True``), matching the generated
+    code's ``x = None`` behaviour.
+    """
+
+    def __init__(self, module: GraphModule, garbage_collect_values: bool = True):
+        if not isinstance(module, GraphModule):
+            raise TypeError("Interpreter expects a GraphModule")
+        self.module = module
+        self.env: dict[Node, Any] = {}
+        self.garbage_collect_values = garbage_collect_values
+        self.user_to_last_uses: dict[Node, list[Node]] = {}
+        if garbage_collect_values:
+            node_to_last_use: dict[Node, Node] = {}
+            for node in module.graph.nodes:
+                def register(n: Node) -> Node:
+                    node_to_last_use[n] = node
+                    return n
+                map_arg(node.args, register)
+                map_arg(node.kwargs, register)
+            for used, user in node_to_last_use.items():
+                self.user_to_last_uses.setdefault(user, []).append(used)
+
+    def run(self, *args, initial_env: Optional[dict[Node, Any]] = None) -> Any:
+        """Run the graph with *args* bound to the placeholders, returning
+        the output node's value."""
+        self.env = dict(initial_env) if initial_env else {}
+        self.args_iter: Iterator[Any] = iter(args)
+        for node in self.module.graph.nodes:
+            if node in self.env:
+                continue  # pre-seeded by initial_env (partial evaluation)
+            self.env[node] = self.run_node(node)
+            if self.garbage_collect_values:
+                for dead in self.user_to_last_uses.get(node, []):
+                    del self.env[dead]
+            if node.op == "output":
+                return self.env[node]
+        raise RuntimeError("graph terminated without an output node")
+
+    def run_node(self, n: Node) -> Any:
+        """Dispatch one node to its opcode handler."""
+        args, kwargs = self.fetch_args_kwargs_from_env(n)
+        return getattr(self, n.op)(n.target, args, kwargs)
+
+    # -- opcode handlers ----------------------------------------------------------
+
+    def placeholder(self, target: str, args: tuple, kwargs: dict) -> Any:
+        try:
+            return next(self.args_iter)
+        except StopIteration:
+            if args:  # default value recorded on the placeholder node
+                return args[0]
+            raise RuntimeError(f"missing argument for placeholder {target!r}") from None
+
+    def get_attr(self, target: str, args: tuple, kwargs: dict) -> Any:
+        return self.fetch_attr(target)
+
+    def call_function(self, target, args: tuple, kwargs: dict) -> Any:
+        return target(*args, **kwargs)
+
+    def call_method(self, target: str, args: tuple, kwargs: dict) -> Any:
+        self_obj, *rest = args
+        return getattr(self_obj, target)(*rest, **kwargs)
+
+    def call_module(self, target: str, args: tuple, kwargs: dict) -> Any:
+        return self.module.get_submodule(target)(*args, **kwargs)
+
+    def output(self, target, args: tuple, kwargs: dict) -> Any:
+        return args[0]
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def fetch_attr(self, target: str) -> Any:
+        obj: Any = self.module
+        for atom in target.split("."):
+            obj = getattr(obj, atom)
+        return obj
+
+    def fetch_args_kwargs_from_env(self, n: Node) -> tuple[tuple, dict]:
+        args = self.map_nodes_to_values(n.args, n)
+        kwargs = self.map_nodes_to_values(n.kwargs, n)
+        return args, kwargs
+
+    def map_nodes_to_values(self, args: Any, n: Node) -> Any:
+        def load(node: Node) -> Any:
+            if node not in self.env:
+                raise RuntimeError(
+                    f"node {n.name!r} references {node.name!r} which has no "
+                    "value (already freed or never computed)"
+                )
+            return self.env[node]
+
+        return map_arg(args, load)
+
+
+class Transformer(Interpreter):
+    """Interpreter that *re-emits* each node into a fresh Graph via Proxies.
+
+    Subclass and override an opcode handler to transform those nodes while
+    everything else is copied through; call :meth:`transform` to get the
+    new GraphModule.  (This mirrors ``torch.fx.Transformer``.)
+    """
+
+    def __init__(self, module: GraphModule):
+        super().__init__(module, garbage_collect_values=False)
+        self.new_graph = Graph()
+        self.tracer = Tracer()
+        self.tracer.graph = self.new_graph
+        self.tracer.root = module
+
+    def placeholder(self, target: str, args: tuple, kwargs: dict) -> Proxy:
+        return self.tracer.create_proxy("placeholder", target, args, kwargs)
+
+    def get_attr(self, target: str, args: tuple, kwargs: dict) -> Proxy:
+        return self.tracer.create_proxy("get_attr", target, args, kwargs)
+
+    def call_function(self, target, args: tuple, kwargs: dict) -> Proxy:
+        return self.tracer.create_proxy("call_function", target, args, kwargs)
+
+    def call_method(self, target: str, args: tuple, kwargs: dict) -> Proxy:
+        return self.tracer.create_proxy("call_method", target, args, kwargs)
+
+    def call_module(self, target: str, args: tuple, kwargs: dict) -> Proxy:
+        return self.tracer.create_proxy("call_module", target, args, kwargs)
+
+    def output(self, target, args: tuple, kwargs: dict) -> Any:
+        # Handled in transform(); should not be reached through run_node.
+        return args[0]
+
+    def run_node(self, n: Node) -> Any:
+        if n.op == "output":
+            result = self.map_nodes_to_values(n.args[0], n)
+            self.new_graph.output(self.tracer.create_arg(result))
+            return result
+        return super().run_node(n)
+
+    def transform(self) -> GraphModule:
+        """Run the whole graph through the re-emitting handlers and return
+        the transformed GraphModule."""
+        self.env = {}
+        self.args_iter = iter(())  # placeholders create proxies, consume nothing
+        for node in self.module.graph.nodes:
+            self.env[node] = self.run_node(node)
+        return GraphModule(self.module, self.new_graph, class_name=self.module._class_name)

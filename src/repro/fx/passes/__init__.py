@@ -1,0 +1,94 @@
+"""Graph transformation and analysis passes built on the fx IR.
+
+Each submodule corresponds to a capability the paper evaluates or cites:
+
+* :mod:`.shape_prop` — shape analysis by interpretation (§6.3);
+* :mod:`.graph_drawer` — Graphviz visualization (§6.3);
+* :mod:`.fuser` — Conv–BatchNorm fusion (§6.2.2);
+* :mod:`.cost_model` — FLOPs / bandwidth / size estimation (§6.3);
+* :mod:`.scheduler` — software pipelining simulation (§6.2.3);
+* :mod:`.split_module` / :mod:`.splitter` — partitioning (§6.2.3, §6.4);
+* :mod:`.cse` / :mod:`.dce` — classic cleanups made trivial by the
+  basic-block IR (§5.5).
+"""
+
+from . import const_fold, cost_model, cse, dce, fuser, graph_drawer, net_min
+from . import normalize, profiler, scheduler, shape_prop, symbolic_shape_prop, type_check
+from . import split_module as split_module_pass
+from . import splitter
+from .const_fold import fold_constants
+from .net_min import DivergenceReport, compare_outputs, find_first_divergence
+from .normalize import normalize_args
+from .profiler import NodeProfile, ProfileReport, ProfilingInterpreter, profile
+from .type_check import Dyn, TensorType, TypeCheckError, type_check as check_types
+from .symbolic_shape_prop import (
+    ShapeInferenceError,
+    SymbolicShapeProp,
+    SymDim,
+    SymExpr,
+    SymShape,
+)
+from .cost_model import CostReport, DeviceModel, NodeCost, estimate
+from .cse import eliminate_common_subexpressions
+from .dce import eliminate_dead_code
+from .fuser import fuse_conv_bn, fuse_conv_bn_weights
+from .graph_drawer import FxGraphDrawer, graph_to_dot
+from .scheduler import Schedule, ScheduledOp, pipeline_schedule
+from .shape_prop import ShapeProp, TensorMetadata
+from .split_module import Partition, split_module
+from .splitter import SplitResult, split_by_support
+
+__all__ = [
+    "CostReport",
+    "DivergenceReport",
+    "ShapeInferenceError",
+    "SymDim",
+    "SymExpr",
+    "SymShape",
+    "SymbolicShapeProp",
+    "compare_outputs",
+    "const_fold",
+    "find_first_divergence",
+    "fold_constants",
+    "net_min",
+    "NodeProfile",
+    "ProfileReport",
+    "ProfilingInterpreter",
+    "profile",
+    "profiler",
+    "normalize",
+    "normalize_args",
+    "Dyn",
+    "TensorType",
+    "TypeCheckError",
+    "check_types",
+    "type_check",
+    "symbolic_shape_prop",
+    "DeviceModel",
+    "FxGraphDrawer",
+    "NodeCost",
+    "Partition",
+    "Schedule",
+    "ScheduledOp",
+    "ShapeProp",
+    "SplitResult",
+    "TensorMetadata",
+    "cost_model",
+    "cse",
+    "dce",
+    "eliminate_common_subexpressions",
+    "eliminate_dead_code",
+    "estimate",
+    "fuse_conv_bn",
+    "fuse_conv_bn_weights",
+    "fuser",
+    "graph_drawer",
+    "graph_to_dot",
+    "pipeline_schedule",
+    "scheduler",
+    "shape_prop",
+    "split_by_support",
+    "split_module",
+    "split_module_pass",
+    "splitter",
+]

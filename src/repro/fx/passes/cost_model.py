@@ -1,0 +1,254 @@
+"""Analytical cost model (§6.3): FLOPs, memory traffic and value sizes.
+
+The paper describes an internal "framework for simulation of deep learning
+inference at scale on various hardware devices" built on torch.fx, which
+estimates FLOPs, memory-bandwidth usage, and data value sizes to predict
+runtime and memory consumption.  This module is that system rebuilt:
+
+* :func:`estimate` walks a shape-propagated graph and produces a
+  :class:`CostReport` with per-node :class:`NodeCost` rows;
+* :class:`DeviceModel` turns a report into predicted runtime via a
+  roofline model (compute-bound vs bandwidth-bound, plus per-op dispatch
+  overhead) — the knob that lets one "iterate in simulation rather than on
+  real devices".
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ... import functional as F
+from ...nn import (
+    AdaptiveAvgPool2d, AvgPool2d, BatchNorm1d, BatchNorm2d, Conv2d,
+    ConvTranspose2d, Linear, MaxPool2d, Module, Upsample,
+)
+from ..graph_module import GraphModule
+from ..node import Node
+from .shape_prop import ShapeProp, TensorMetadata
+
+__all__ = ["NodeCost", "CostReport", "DeviceModel", "estimate", "CPU_MODEL", "GPU_MODEL", "ASIC_MODEL"]
+
+
+@dataclass
+class NodeCost:
+    """Estimated cost of a single node."""
+
+    node_name: str
+    op: str
+    target: str
+    flops: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    param_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written + self.param_bytes
+
+
+@dataclass
+class CostReport:
+    """Aggregate cost estimate for one graph execution."""
+
+    rows: list[NodeCost] = field(default_factory=list)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(r.flops for r in self.rows)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.total_bytes for r in self.rows)
+
+    @property
+    def peak_value_bytes(self) -> int:
+        return max((r.bytes_written for r in self.rows), default=0)
+
+    def by_node(self) -> dict[str, NodeCost]:
+        return {r.node_name: r for r in self.rows}
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.rows)} ops, {self.total_flops / 1e9:.3f} GFLOPs, "
+            f"{self.total_bytes / 1e6:.2f} MB traffic"
+        )
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """A simulated device: roofline throughput + per-op dispatch overhead.
+
+    Attributes:
+        name: label for reports.
+        flops_per_second: peak compute throughput.
+        bytes_per_second: peak memory bandwidth.
+        overhead_per_op: fixed dispatch/launch cost per node.
+    """
+
+    name: str
+    flops_per_second: float
+    bytes_per_second: float
+    overhead_per_op: float
+
+    def node_time(self, cost: NodeCost) -> float:
+        compute = cost.flops / self.flops_per_second
+        memory = cost.total_bytes / self.bytes_per_second
+        return max(compute, memory) + self.overhead_per_op
+
+    def predict_runtime(self, report: CostReport) -> float:
+        """Predicted end-to-end latency in seconds (serial execution)."""
+        return sum(self.node_time(r) for r in report.rows)
+
+
+# Representative device points (orders of magnitude matter, not exact specs).
+CPU_MODEL = DeviceModel("server-cpu", flops_per_second=2e11, bytes_per_second=8e10,
+                        overhead_per_op=2e-6)
+GPU_MODEL = DeviceModel("datacenter-gpu", flops_per_second=1.4e13, bytes_per_second=9e11,
+                        overhead_per_op=8e-6)
+ASIC_MODEL = DeviceModel("inference-asic", flops_per_second=4e13, bytes_per_second=6e11,
+                         overhead_per_op=1e-6)
+
+
+def _meta(value: Any) -> TensorMetadata | None:
+    if isinstance(value, TensorMetadata):
+        return value
+    if isinstance(value, (tuple, list)) and value and isinstance(value[0], TensorMetadata):
+        return value[0]
+    return None
+
+
+def _input_bytes(node: Node) -> int:
+    total = 0
+    for inp in node.all_input_nodes:
+        tm = _meta(inp.meta.get("tensor_meta"))
+        if tm is not None:
+            total += tm.nbytes
+    return total
+
+
+def _output_bytes(node: Node) -> int:
+    tm = node.meta.get("tensor_meta")
+    if isinstance(tm, TensorMetadata):
+        return tm.nbytes
+    if isinstance(tm, (tuple, list)):
+        return sum(t.nbytes for t in tm if isinstance(t, TensorMetadata))
+    return 0
+
+
+def _module_cost(mod: Module, node: Node, cost: NodeCost) -> None:
+    out = _meta(node.meta.get("tensor_meta"))
+    if isinstance(mod, Conv2d) and out is not None:
+        # Each output element is a dot product over C/g * kh * kw inputs.
+        kh, kw = mod.kernel_size
+        macs = out.numel * (mod.in_channels // mod.groups) * kh * kw
+        cost.flops = 2 * macs
+        cost.param_bytes = sum(p.nbytes() for p in mod.parameters())
+    elif isinstance(mod, Linear) and out is not None:
+        cost.flops = 2 * out.numel * mod.in_features
+        cost.param_bytes = sum(p.nbytes() for p in mod.parameters())
+    elif isinstance(mod, (BatchNorm1d, BatchNorm2d)) and out is not None:
+        cost.flops = 4 * out.numel  # subtract, divide, scale, shift
+        cost.param_bytes = sum(p.nbytes() for p in mod.parameters())
+        cost.param_bytes += sum(b.nbytes() for b in mod.buffers())
+    elif isinstance(mod, ConvTranspose2d) and out is not None:
+        kh, kw = mod.kernel_size
+        inp = _meta(node.all_input_nodes[0].meta.get("tensor_meta")) if node.all_input_nodes else None
+        if inp is not None:
+            # every input element scatters a (C_out, KH, KW) patch
+            macs = inp.numel * mod.out_channels * kh * kw
+            cost.flops = 2 * macs
+        cost.param_bytes = sum(p.nbytes() for p in mod.parameters())
+    elif isinstance(mod, Upsample) and out is not None:
+        cost.flops = out.numel  # index gather / lerp per output element
+    elif isinstance(mod, (MaxPool2d, AvgPool2d)) and out is not None:
+        k = mod.kernel_size
+        kh, kw = (k, k) if isinstance(k, int) else k
+        cost.flops = out.numel * kh * kw
+    elif isinstance(mod, AdaptiveAvgPool2d) and out is not None:
+        inp = _meta(node.all_input_nodes[0].meta.get("tensor_meta")) if node.all_input_nodes else None
+        cost.flops = inp.numel if inp is not None else out.numel
+    elif out is not None:
+        # default: one flop per output element (activations etc.)
+        cost.flops = out.numel
+
+
+_ELEMENTWISE_FNS = {
+    F.relu, F.relu6, F.leaky_relu, F.sigmoid, F.tanh, F.add, F.sub, F.mul,
+    F.div, F.neg, F.clamp, F.maximum, F.minimum, F.where,
+    operator.add, operator.sub, operator.mul, operator.truediv, operator.neg,
+}
+_EXPENSIVE_ELEMENTWISE = {F.gelu, F.silu, F.softmax, F.log_softmax, F.erf, F.selu,
+                          F.elu, F.mish, F.exp, F.log, F.sqrt}
+
+
+def _function_cost(node: Node, cost: NodeCost) -> None:
+    out = _meta(node.meta.get("tensor_meta"))
+    if out is None:
+        return
+    target = node.target
+    if target in (F.matmul, F.mm, F.bmm, operator.matmul):
+        a = _meta(node.all_input_nodes[0].meta.get("tensor_meta"))
+        if a is not None:
+            k = a.shape[-1]
+            cost.flops = 2 * out.numel * k
+        return
+    if target is F.linear:
+        a = _meta(node.all_input_nodes[0].meta.get("tensor_meta"))
+        if a is not None:
+            cost.flops = 2 * out.numel * a.shape[-1]
+        return
+    if target is F.conv2d:
+        # weight is input[1]
+        if len(node.all_input_nodes) > 1:
+            w = _meta(node.all_input_nodes[1].meta.get("tensor_meta"))
+            if w is not None:
+                _, cg, kh, kw = w.shape
+                cost.flops = 2 * out.numel * cg * kh * kw
+                return
+        cost.flops = out.numel
+        return
+    if target in _EXPENSIVE_ELEMENTWISE:
+        cost.flops = 8 * out.numel
+        return
+    if target in _ELEMENTWISE_FNS:
+        cost.flops = out.numel
+        return
+    # structural ops (cat/reshape/getitem/…) cost pure memory movement
+    cost.flops = 0
+
+
+def estimate(gm: GraphModule, *example_inputs) -> CostReport:
+    """Estimate per-node and total cost for one forward pass.
+
+    Runs :class:`~repro.fx.passes.shape_prop.ShapeProp` with the example
+    inputs first (so the graph carries concrete shapes), then applies
+    per-operator cost formulas.
+    """
+    ShapeProp(gm).propagate(*example_inputs)
+    modules = dict(gm.named_modules())
+    report = CostReport()
+    for node in gm.graph.nodes:
+        if node.op in ("placeholder", "output", "get_attr"):
+            continue
+        cost = NodeCost(
+            node_name=node.name,
+            op=node.op,
+            target=str(node._pretty_print_target()),
+            bytes_read=_input_bytes(node),
+            bytes_written=_output_bytes(node),
+        )
+        if node.op == "call_module":
+            mod = modules.get(node.target)
+            if mod is not None:
+                _module_cost(mod, node, cost)
+        elif node.op == "call_function":
+            _function_cost(node, cost)
+        elif node.op == "call_method":
+            out = _meta(node.meta.get("tensor_meta"))
+            cost.flops = out.numel if out is not None else 0
+        report.rows.append(cost)
+    return report

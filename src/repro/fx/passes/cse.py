@@ -1,0 +1,74 @@
+"""Common subexpression elimination.
+
+The paper (§5.5) notes that general control flow makes CSE "more
+complicated to implement"; on the basic-block fx IR it is a single forward
+sweep with a value-numbering table.  Because the IR is functional (§5.6),
+every ``call_function`` / ``call_method`` / ``get_attr`` node is assumed
+pure and eligible.  ``call_module`` nodes are *not* deduplicated by
+default: modules may hide state (BatchNorm in training mode, Dropout).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..graph_module import GraphModule
+from ..node import Node
+
+__all__ = ["eliminate_common_subexpressions"]
+
+
+def _freeze(a: Any) -> Any:
+    """Turn an argument structure into a hashable value-number key."""
+    if isinstance(a, Node):
+        return ("node", id(a))
+    if isinstance(a, (tuple, list)):
+        return (type(a).__name__,) + tuple(_freeze(x) for x in a)
+    if isinstance(a, dict):
+        return ("dict",) + tuple(sorted((k, _freeze(v)) for k, v in a.items()))
+    if isinstance(a, slice):
+        return ("slice", _freeze(a.start), _freeze(a.stop), _freeze(a.step))
+    try:
+        hash(a)
+    except TypeError:
+        return ("unhashable", id(a))
+    return a
+
+
+def eliminate_common_subexpressions(
+    gm: GraphModule, dedupe_modules: bool = False
+) -> int:
+    """Deduplicate identical pure operations in ``gm.graph``.
+
+    Args:
+        gm: the module to optimize (mutated in place; recompiled).
+        dedupe_modules: also merge identical ``call_module`` calls — only
+            safe if every involved module is stateless at inference.
+
+    Returns:
+        Number of nodes eliminated.
+    """
+    eligible = {"call_function", "call_method", "get_attr"}
+    if dedupe_modules:
+        eligible.add("call_module")
+    table: dict[Any, Node] = {}
+    removed = 0
+    for node in list(gm.graph.nodes):
+        if node.op not in eligible:
+            continue
+        key = (
+            node.op,
+            node.target if isinstance(node.target, str) else id(node.target),
+            _freeze(node.args),
+            _freeze(node.kwargs),
+        )
+        existing = table.get(key)
+        if existing is None:
+            table[key] = node
+            continue
+        node.replace_all_uses_with(existing)
+        gm.graph.erase_node(node)
+        removed += 1
+    if removed:
+        gm.recompile()
+    return removed

@@ -1,0 +1,21 @@
+"""Dead code elimination as a standalone pass.
+
+Thin wrapper around :meth:`Graph.eliminate_dead_code` that also recompiles
+and reports, so it composes in pass pipelines (e.g. the TRT lowering
+pipeline in :mod:`repro.trt.lower`).
+"""
+
+from __future__ import annotations
+
+from ..graph_module import GraphModule
+
+__all__ = ["eliminate_dead_code"]
+
+
+def eliminate_dead_code(gm: GraphModule) -> int:
+    """Remove unused nodes from ``gm.graph``; returns how many were removed."""
+    before = len(gm.graph)
+    changed = gm.graph.eliminate_dead_code()
+    if changed:
+        gm.recompile()
+    return before - len(gm.graph)

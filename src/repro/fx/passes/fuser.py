@@ -1,0 +1,100 @@
+"""Conv–BatchNorm fusion (§6.2.2, Figure 7).
+
+At inference time a ``Conv2d -> BatchNorm2d`` sequence can be collapsed
+into a single convolution by folding the normalization's affine transform
+into the convolution weights (Markuš, 2018):
+
+    W' = W * gamma / sqrt(var + eps)        (per output channel)
+    b' = (b - mean) * gamma / sqrt(var + eps) + beta
+
+This pass demonstrates the paper's point about needing *non-local program
+context and simultaneous code+state modification*: it pattern-matches
+adjacent ``call_module`` nodes in the Graph (code) and rewrites the conv's
+parameters (state) — both live together in the GraphModule.  The whole
+transform is well under the paper's quoted 150 lines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...nn import BatchNorm2d, Conv2d, Parameter
+from ..graph_module import GraphModule
+from ..tracer import symbolic_trace
+
+__all__ = ["fuse_conv_bn", "fuse_conv_bn_weights"]
+
+
+def fuse_conv_bn_weights(conv: Conv2d, bn: BatchNorm2d) -> Conv2d:
+    """Return a new Conv2d equivalent to ``bn(conv(x))`` in eval mode."""
+    if bn.running_mean is None or bn.running_var is None:
+        raise ValueError("BatchNorm must track running stats to be fusible")
+    w = conv.weight.data
+    b = conv.bias.data if conv.bias is not None else np.zeros(w.shape[0], dtype=w.dtype)
+    mean = bn.running_mean.data
+    var = bn.running_var.data
+    gamma = bn.weight.data if bn.weight is not None else np.ones_like(mean)
+    beta = bn.bias.data if bn.bias is not None else np.zeros_like(mean)
+    scale = gamma / np.sqrt(var + bn.eps)
+
+    fused = Conv2d(
+        conv.in_channels, conv.out_channels, conv.kernel_size,
+        stride=conv.stride, padding=conv.padding, dilation=conv.dilation,
+        groups=conv.groups, bias=True,
+    )
+    fused.weight = Parameter((w * scale.reshape(-1, 1, 1, 1)).astype(w.dtype))
+    fused.bias = Parameter(((b - mean) * scale + beta).astype(w.dtype))
+    return fused
+
+
+def fuse_conv_bn(model, inplace: bool = False) -> GraphModule:
+    """Fuse every ``Conv2d -> BatchNorm2d`` pair in *model*.
+
+    *model* may be any Module (it is symbolically traced first) or an
+    existing GraphModule.  The BN node is removed from the graph, its
+    users are redirected to the (re-parameterized) conv node, and the dead
+    BN submodule is dropped from the hierarchy.
+
+    Only valid for inference: the model must be in ``eval()`` mode, since
+    training-mode BN uses batch statistics that cannot be folded ahead of
+    time.
+    """
+    gm = model if isinstance(model, GraphModule) else symbolic_trace(model)
+    if gm.training:
+        raise RuntimeError(
+            "conv-bn fusion requires eval mode; call model.eval() first "
+            "(training-mode BN uses batch statistics)"
+        )
+    modules = dict(gm.named_modules())
+    for node in list(gm.graph.nodes):
+        if node.op != "call_module" or not isinstance(modules.get(node.target), BatchNorm2d):
+            continue
+        if len(node.args) != 1 or not hasattr(node.args[0], "op"):
+            continue
+        conv_node = node.args[0]
+        if conv_node.op != "call_module" or not isinstance(
+            modules.get(conv_node.target), Conv2d
+        ):
+            continue
+        # The conv output must feed only this BN, otherwise other users
+        # would observe the un-normalized value.
+        if len(conv_node.users) > 1:
+            continue
+        conv = modules[conv_node.target]
+        bn = modules[node.target]
+        fused = fuse_conv_bn_weights(conv, bn)
+        _replace_module(gm, conv_node.target, fused)
+        modules[conv_node.target] = fused
+        node.replace_all_uses_with(conv_node)
+        gm.graph.erase_node(node)
+        gm.delete_submodule(node.target)
+    gm.graph.lint()
+    gm.recompile()
+    gm.delete_all_unused_submodules()
+    return gm
+
+
+def _replace_module(gm: GraphModule, target: str, new_module) -> None:
+    prefix, _, leaf = target.rpartition(".")
+    parent = gm.get_submodule(prefix)
+    setattr(parent, leaf, new_module)

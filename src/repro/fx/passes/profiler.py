@@ -1,0 +1,92 @@
+"""Per-node wall-clock profiling via the Interpreter.
+
+The canonical "analysis by interpretation" pattern (§6.3): subclass
+:class:`~repro.fx.Interpreter`, override :meth:`run_node`, and observe
+real execution — here, measuring how long every node takes, aggregated
+over repeated runs, so a user can see where a model actually spends its
+time at operator granularity.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..graph_module import GraphModule
+from ..interpreter import Interpreter
+from ..node import Node
+
+__all__ = ["NodeProfile", "ProfilingInterpreter", "profile"]
+
+
+@dataclass
+class NodeProfile:
+    """Accumulated timing for one node."""
+
+    node_name: str
+    op: str
+    target: str
+    total_seconds: float = 0.0
+    calls: int = 0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+
+@dataclass
+class ProfileReport:
+    """All node timings from one or more profiled runs."""
+
+    rows: list[NodeProfile] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.total_seconds for r in self.rows)
+
+    def sorted_by_time(self) -> list[NodeProfile]:
+        return sorted(self.rows, key=lambda r: r.total_seconds, reverse=True)
+
+    def summary(self, top: int = 10) -> str:
+        lines = [f"{'node':28s} {'op':14s} {'mean (ms)':>10s} {'share':>7s}"]
+        total = self.total_seconds or 1.0
+        for r in self.sorted_by_time()[:top]:
+            lines.append(
+                f"{r.node_name:28s} {r.op:14s} {r.mean_seconds * 1e3:10.3f} "
+                f"{r.total_seconds / total * 100:6.1f}%"
+            )
+        return "\n".join(lines)
+
+
+class ProfilingInterpreter(Interpreter):
+    """Interpreter that times every node it executes."""
+
+    def __init__(self, gm: GraphModule):
+        super().__init__(gm)
+        self._profiles: dict[Node, NodeProfile] = {}
+
+    def run_node(self, n: Node) -> Any:
+        t0 = time.perf_counter()
+        result = super().run_node(n)
+        elapsed = time.perf_counter() - t0
+        prof = self._profiles.get(n)
+        if prof is None:
+            prof = NodeProfile(n.name, n.op, str(n._pretty_print_target()))
+            self._profiles[n] = prof
+        prof.total_seconds += elapsed
+        prof.calls += 1
+        return result
+
+    def report(self) -> ProfileReport:
+        return ProfileReport(rows=list(self._profiles.values()))
+
+
+def profile(gm: GraphModule, *inputs, runs: int = 3, warmup: int = 1) -> ProfileReport:
+    """Profile *gm* over several runs and return per-node timings."""
+    interp = ProfilingInterpreter(gm)
+    for _ in range(warmup):
+        Interpreter(gm).run(*inputs)
+    for _ in range(runs):
+        interp.run(*inputs)
+    return interp.report()

@@ -1,0 +1,152 @@
+"""Graph partitioning: ``split_module`` (substrate for §6.2.3 and §6.4).
+
+Splits a GraphModule into a top-level module that calls a sequence of
+partition submodules (``submod_0``, ``submod_1``, …), with cross-partition
+values threaded through explicitly.  The assignment of nodes to partitions
+is a user callback, which is how both the pipeline scheduler
+(:mod:`repro.fx.passes.scheduler`) and the TensorRT-style operator-support
+splitter (:mod:`repro.trt.splitter`) express their policies.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable
+
+from ..graph import Graph
+from ..graph_module import GraphModule
+from ..node import Node, map_arg
+
+__all__ = ["split_module", "Partition"]
+
+
+class Partition:
+    """One partition's bookkeeping during the split."""
+
+    def __init__(self, pid: int):
+        self.pid = pid
+        self.nodes: list[Node] = []
+        self.inputs: dict[Node, None] = {}   # values read from outside
+        self.outputs: dict[Node, None] = {}  # values read by outside
+        self.depends_on: set[int] = set()
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition(pid={self.pid}, nodes={[n.name for n in self.nodes]}, "
+            f"inputs={[n.name for n in self.inputs]}, "
+            f"outputs={[n.name for n in self.outputs]})"
+        )
+
+
+def split_module(
+    m: GraphModule,
+    split_callback: Callable[[Node], int],
+) -> GraphModule:
+    """Split *m* into partition submodules chosen by *split_callback*.
+
+    Args:
+        m: the module to split.
+        split_callback: maps each non-placeholder/non-output node to an
+            integer partition id.  The induced partition dependency graph
+            must be acyclic (a cycle means the callback interleaved two
+            partitions; an error is raised).
+
+    Returns:
+        A new GraphModule whose graph is
+        ``placeholders -> call submod_* in dependency order -> output``,
+        with each ``submod_<pid>`` a GraphModule holding that partition's
+        nodes (and the state they reference).
+    """
+    partitions: dict[int, Partition] = {}
+    node_part: dict[Node, int] = {}
+    for node in m.graph.nodes:
+        if node.op in ("placeholder", "output"):
+            continue
+        pid = int(split_callback(node))
+        part = partitions.setdefault(pid, Partition(pid))
+        part.nodes.append(node)
+        node_part[node] = pid
+
+    # Wire inputs/outputs/dependencies.
+    for node in m.graph.nodes:
+        if node.op == "placeholder":
+            continue
+        consumers_pid = node_part.get(node)  # None for output node
+        for inp in node.all_input_nodes:
+            producer_pid = node_part.get(inp)
+            if consumers_pid is not None and producer_pid == consumers_pid:
+                continue
+            if consumers_pid is not None:
+                partitions[consumers_pid].inputs.setdefault(inp)
+                if producer_pid is not None:
+                    partitions[consumers_pid].depends_on.add(producer_pid)
+            if producer_pid is not None:
+                partitions[producer_pid].outputs.setdefault(inp)
+
+    order = _topo_sort_partitions(partitions)
+
+    # Build each partition's graph and module.
+    submodules: dict[str, GraphModule] = {}
+    part_output_index: dict[int, dict[Node, int]] = {}
+    for pid in order:
+        part = partitions[pid]
+        g = Graph()
+        env: dict[Node, Node] = {}
+        for inp in part.inputs:
+            env[inp] = g.placeholder(inp.name)
+        for node in part.nodes:
+            env[node] = g.node_copy(node, lambda n: env[n])
+        outs = list(part.outputs)
+        if len(outs) == 1:
+            g.output(env[outs[0]])
+        else:
+            g.output(tuple(env[o] for o in outs))
+        part_output_index[pid] = {o: i for i, o in enumerate(outs)}
+        submodules[f"submod_{pid}"] = GraphModule(m, g, class_name=f"submod_{pid}")
+
+    # Build the top-level graph.
+    top = Graph()
+    env: dict[Node, Node] = {}
+    for node in m.graph.nodes:
+        if node.op == "placeholder":
+            default = node.args[0] if node.args else ...
+            env[node] = top.placeholder(node.target, default_value=default)
+    for pid in order:
+        part = partitions[pid]
+        args = tuple(env[inp] for inp in part.inputs)
+        call = top.call_module(f"submod_{pid}", args)
+        outs = list(part.outputs)
+        if len(outs) == 1:
+            env[outs[0]] = call
+        else:
+            for i, o in enumerate(outs):
+                env[o] = top.call_function(operator.getitem, (call, i))
+    orig_output = m.graph.output_node
+    top.output(map_arg(orig_output.args[0], lambda n: env[n]))
+
+    return GraphModule(submodules, top, class_name=f"split_{m._class_name}")
+
+
+def _topo_sort_partitions(partitions: dict[int, Partition]) -> list[int]:
+    order: list[int] = []
+    state: dict[int, int] = {}  # 0 unvisited, 1 in-progress, 2 done
+
+    def visit(pid: int) -> None:
+        s = state.get(pid, 0)
+        if s == 2:
+            return
+        if s == 1:
+            raise RuntimeError(
+                f"partition dependency cycle involving partition {pid}; the "
+                "split_callback interleaves partitions — assign contiguous "
+                "regions instead"
+            )
+        state[pid] = 1
+        for dep in sorted(partitions[pid].depends_on):
+            visit(dep)
+        state[pid] = 2
+        order.append(pid)
+
+    for pid in sorted(partitions):
+        visit(pid)
+    return order

@@ -1,0 +1,78 @@
+"""Operator-support based splitting (the fx2trt pattern, §6.4).
+
+Given a predicate "is this node supported by the backend?", partition the
+graph into maximal contiguous runs of supported and unsupported nodes and
+split it with :func:`~repro.fx.passes.split_module.split_module`.  The
+paper highlights exactly this capability: "automatic splitting of the
+model based on TensorRT's supported operators and automatically scheduling
+unsupported operations in non-optimized blocks".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..graph_module import GraphModule
+from ..node import Node
+from .split_module import split_module
+
+__all__ = ["SplitResult", "split_by_support"]
+
+
+@dataclass
+class SplitResult:
+    """Outcome of a support-based split.
+
+    Attributes:
+        split_gm: top-level module calling the partition submodules.
+        supported_partitions: partition ids whose nodes the backend accepts
+            (submodule names are ``submod_<pid>``).
+        partition_of: node name -> partition id.
+    """
+
+    split_gm: GraphModule
+    supported_partitions: set[int]
+    partition_of: dict[str, int]
+
+    def submodule_names(self, supported: bool) -> list[str]:
+        ids = sorted(
+            pid for pid in set(self.partition_of.values())
+            if (pid in self.supported_partitions) == supported
+        )
+        return [f"submod_{pid}" for pid in ids]
+
+
+def split_by_support(
+    gm: GraphModule,
+    is_supported: Callable[[Node], bool],
+) -> SplitResult:
+    """Split *gm* into alternating supported/unsupported partitions.
+
+    Partition ids increase monotonically along the graph; a new partition
+    starts whenever support flips.  ``get_attr`` nodes inherit the support
+    of their consumers' region (they are free state reads).
+    """
+    partition_of: dict[str, int] = {}
+    supported_partitions: set[int] = set()
+    current_pid = -1
+    current_supported: bool | None = None
+    for node in gm.graph.nodes:
+        if node.op in ("placeholder", "output"):
+            continue
+        sup = bool(is_supported(node)) if node.op != "get_attr" else current_supported
+        if sup is None:  # leading get_attr before any compute node
+            sup = True
+        if current_supported is None or sup != current_supported:
+            current_pid += 1
+            current_supported = sup
+            if sup:
+                supported_partitions.add(current_pid)
+        partition_of[node.name] = current_pid
+
+    split_gm = split_module(gm, lambda n: partition_of[n.name])
+    return SplitResult(
+        split_gm=split_gm,
+        supported_partitions=supported_partitions,
+        partition_of=partition_of,
+    )

@@ -1,0 +1,367 @@
+"""Gradual tensor typing (§6.3: "shape propagation via gradual typing
+semantics ... in development" — implemented here as an extension).
+
+Implements the gradually-typed tensor calculus used by torch.fx's
+experimental ``graph_gradual_typechecker`` (Migeed et al.): a tensor type
+is a sequence of dimensions, each either a concrete ``int`` or the
+*dynamic* type :data:`Dyn`; a whole tensor can also be ``Dyn``.  The
+key relations:
+
+* **consistency** (``~``): ``Dyn`` is consistent with anything; two
+  concrete dims are consistent iff equal; shapes are consistent iff
+  element-wise consistent (same rank, or one side is ``Dyn``).
+* **precision / meet**: the *greatest lower bound* of two consistent
+  types keeps the concrete information from both sides.
+
+:func:`type_check` walks the graph once (basic-block IR again), applies
+per-operator typing rules, refines ``Dyn`` where operator constraints
+force a concrete value, and raises :class:`TypeCheckError` on genuinely
+inconsistent programs — without requiring *any* concrete input shape.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Sequence
+
+from ... import functional as F
+from ...nn import (
+    AdaptiveAvgPool2d, BatchNorm1d, BatchNorm2d, Conv2d, Dropout, Flatten,
+    Identity, LayerNorm, Linear, MaxPool2d, AvgPool2d, Module,
+)
+from ...nn.activations import (
+    ELU, GELU, Hardsigmoid, Hardswish, Hardtanh, LeakyReLU, LogSoftmax, Mish,
+    ReLU, ReLU6, SELU, Sigmoid, SiLU, Softmax, Softplus, Tanh,
+)
+
+_ELEMENTWISE_MODULES = (
+    ReLU, ReLU6, LeakyReLU, ELU, SELU, GELU, SiLU, Mish, Sigmoid, Tanh,
+    Softmax, LogSoftmax, Hardtanh, Hardsigmoid, Hardswish, Softplus,
+    Dropout, Identity,
+)
+from ...functional import _pair
+from ..graph_module import GraphModule
+from ..node import Node
+
+__all__ = ["Dyn", "TensorType", "TypeCheckError", "is_consistent", "meet", "type_check"]
+
+
+class _DynType:
+    """The dynamic type: consistent with everything (singleton)."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "Dyn"
+
+    def __reduce__(self):
+        return (_DynType, ())
+
+
+Dyn = _DynType()
+
+
+class TypeCheckError(TypeError):
+    """The program is ill-typed: two types that must agree are inconsistent."""
+
+
+class TensorType:
+    """A gradually-typed tensor shape: each dim is an int or ``Dyn``."""
+
+    __slots__ = ("dims",)
+
+    def __init__(self, dims: Sequence[Any]):
+        for d in dims:
+            if not (d is Dyn or isinstance(d, int)):
+                raise TypeError(f"dimension must be int or Dyn, got {d!r}")
+        self.dims = tuple(dims)
+
+    def __len__(self) -> int:
+        return len(self.dims)
+
+    def __getitem__(self, i):
+        return self.dims[i]
+
+    def __iter__(self):
+        return iter(self.dims)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, TensorType) and self.dims == other.dims
+
+    def __hash__(self) -> int:
+        return hash(self.dims)
+
+    def __repr__(self) -> str:
+        return "TensorType[" + ", ".join(str(d) for d in self.dims) + "]"
+
+    def is_fully_static(self) -> bool:
+        return all(isinstance(d, int) for d in self.dims)
+
+
+Type = Any  # TensorType | _DynType
+
+
+def is_consistent(a: Type, b: Type) -> bool:
+    """The gradual consistency relation ``a ~ b``."""
+    if a is Dyn or b is Dyn:
+        return True
+    if isinstance(a, TensorType) and isinstance(b, TensorType):
+        if len(a) != len(b):
+            return False
+        return all(
+            da is Dyn or db is Dyn or da == db for da, db in zip(a, b)
+        )
+    return a == b
+
+
+def meet(a: Type, b: Type) -> Type:
+    """Greatest lower bound in the precision order (keeps concrete info).
+
+    Raises:
+        TypeCheckError: if the types are not consistent.
+    """
+    if not is_consistent(a, b):
+        raise TypeCheckError(f"inconsistent types: {a} vs {b}")
+    if a is Dyn:
+        return b
+    if b is Dyn:
+        return a
+    if isinstance(a, TensorType) and isinstance(b, TensorType):
+        return TensorType([
+            db if da is Dyn else da for da, db in zip(a, b)
+        ])
+    return a
+
+
+def _conv_dim(size: Any, kernel: int, stride: int, padding: int, dilation: int) -> Any:
+    if size is Dyn:
+        return Dyn
+    eff = (kernel - 1) * dilation + 1
+    return (size + 2 * padding - eff) // stride + 1
+
+
+_ELEMENTWISE_FNS = {
+    F.relu, F.relu6, F.leaky_relu, F.elu, F.selu, F.gelu, F.silu, F.mish,
+    F.sigmoid, F.tanh, F.softmax, F.log_softmax, F.hardtanh, F.hardsigmoid,
+    F.hardswish, F.softplus, F.neg, F.abs, F.exp, F.log, F.sqrt, F.clamp,
+    F.dropout,
+}
+_ELEMENTWISE_METHODS = {
+    "relu", "gelu", "sigmoid", "tanh", "neg", "abs", "exp", "log", "sqrt",
+    "clamp", "softmax", "contiguous", "clone", "detach", "float",
+}
+_BROADCAST_FNS = {
+    F.add, F.sub, F.mul, F.div, F.maximum, F.minimum,
+    operator.add, operator.sub, operator.mul, operator.truediv,
+}
+
+
+def type_check(gm: GraphModule, input_types: Sequence[Type]) -> Type:
+    """Assign a gradual type to every node; return the output type.
+
+    Args:
+        gm: the graph to check.
+        input_types: one :class:`TensorType` (or ``Dyn``) per placeholder.
+
+    Every node gets ``node.type`` set.  Raises :class:`TypeCheckError` on
+    inconsistency (e.g. a Linear whose input feature dim is concrete but
+    wrong).
+    """
+    modules = dict(gm.named_modules())
+    env: dict[Node, Type] = {}
+    types = iter(input_types)
+    output_type: Type = Dyn
+
+    for node in gm.graph.nodes:
+        if node.op == "placeholder":
+            try:
+                t = next(types)
+            except StopIteration:
+                raise TypeCheckError(
+                    f"no input type provided for placeholder {node.target!r}"
+                ) from None
+        elif node.op == "get_attr":
+            attr = _fetch(gm, node.target)
+            t = TensorType(attr.shape) if hasattr(attr, "shape") else Dyn
+        elif node.op == "output":
+            arg = node.args[0]
+            output_type = env[arg] if isinstance(arg, Node) else Dyn
+            node.type = output_type
+            break
+        else:
+            t = _apply_rule(node, env, modules)
+        env[node] = t
+        node.type = t
+    return output_type
+
+
+def _apply_rule(node: Node, env: dict[Node, Type], modules: dict[str, Module]) -> Type:
+    def ty(a):
+        return env[a] if isinstance(a, Node) else Dyn
+
+    x = ty(node.args[0]) if node.args else Dyn
+
+    if node.op == "call_module":
+        mod = modules[node.target]
+        if isinstance(mod, _ELEMENTWISE_MODULES):
+            return x
+        if isinstance(mod, Linear):
+            if x is Dyn:
+                return Dyn
+            # input feature dim must be consistent with in_features
+            expected = TensorType([Dyn] * (len(x) - 1) + [mod.in_features])
+            refined = meet(x, expected)  # raises on mismatch
+            return TensorType(list(refined[:-1]) + [mod.out_features])
+        if isinstance(mod, Conv2d):
+            if x is Dyn:
+                return Dyn
+            if len(x) != 4:
+                raise TypeCheckError(
+                    f"Conv2d at {node.name!r} expects rank 4, got {x}"
+                )
+            refined = meet(x, TensorType([Dyn, mod.in_channels, Dyn, Dyn]))
+            n, _, h, w = refined
+            kh, kw = mod.kernel_size
+            sh, sw = _pair(mod.stride)
+            ph, pw = _pair(mod.padding)
+            dh, dw = _pair(mod.dilation)
+            return TensorType([
+                n, mod.out_channels,
+                _conv_dim(h, kh, sh, ph, dh), _conv_dim(w, kw, sw, pw, dw),
+            ])
+        if isinstance(mod, (MaxPool2d, AvgPool2d)):
+            if x is Dyn:
+                return Dyn
+            n, c, h, w = x
+            kh, kw = _pair(mod.kernel_size)
+            sh, sw = _pair(mod.stride)
+            ph, pw = _pair(mod.padding)
+            return TensorType([n, c, _conv_dim(h, kh, sh, ph, 1),
+                               _conv_dim(w, kw, sw, pw, 1)])
+        if isinstance(mod, AdaptiveAvgPool2d):
+            if x is Dyn:
+                return Dyn
+            oh, ow = _pair(mod.output_size)
+            return TensorType([x[0], x[1], oh, ow])
+        if isinstance(mod, Flatten):
+            return _flatten_type(x, mod.start_dim, mod.end_dim)
+        if isinstance(mod, BatchNorm2d):
+            if x is Dyn:
+                return Dyn
+            return meet(x, TensorType([Dyn, mod.num_features, Dyn, Dyn]))
+        if isinstance(mod, BatchNorm1d):
+            return x
+        if isinstance(mod, LayerNorm):
+            if x is Dyn:
+                return Dyn
+            tail = list(mod.normalized_shape)
+            expected = TensorType([Dyn] * (len(x) - len(tail)) + tail)
+            return meet(x, expected)
+        if isinstance(mod, (Dropout, Identity)):
+            return x
+        # unknown module: gradual typing's whole point — fall back to Dyn
+        return Dyn
+
+    if node.op == "call_function":
+        fn = node.target
+        if fn in _ELEMENTWISE_FNS:
+            return x
+        if fn in _BROADCAST_FNS:
+            other = ty(node.args[1]) if len(node.args) > 1 else Dyn
+            return _broadcast_type(x, other)
+        if fn is F.linear:
+            w = ty(node.args[1])
+            if x is Dyn or w is Dyn:
+                return Dyn
+            refined = meet(x, TensorType([Dyn] * (len(x) - 1) + [w[1]]))
+            return TensorType(list(refined[:-1]) + [w[0]])
+        if fn in (F.matmul, operator.matmul):
+            other = ty(node.args[1])
+            if x is Dyn or other is Dyn:
+                return Dyn
+            if x[-1] is not Dyn and other[0] is not Dyn and len(other) == 2 \
+                    and x[-1] != other[0]:
+                raise TypeCheckError(
+                    f"matmul at {node.name!r}: contracting dims {x[-1]} vs {other[0]}"
+                )
+            return TensorType(list(x[:-1]) + [other[-1]])
+        if fn is F.flatten:
+            start = node.args[1] if len(node.args) > 1 else node.kwargs.get("start_dim", 0)
+            end = node.args[2] if len(node.args) > 2 else node.kwargs.get("end_dim", -1)
+            return _flatten_type(x, start, end)
+        if fn is operator.getitem:
+            return Dyn
+        return Dyn
+
+    if node.op == "call_method":
+        if node.target in _ELEMENTWISE_METHODS:
+            return x
+        if node.target == "flatten":
+            start = node.args[1] if len(node.args) > 1 else 0
+            end = node.args[2] if len(node.args) > 2 else -1
+            return _flatten_type(x, start, end)
+        if node.target in ("reshape", "view"):
+            dims = node.args[1:]
+            if len(dims) == 1 and isinstance(dims[0], (tuple, list)):
+                dims = tuple(dims[0])
+            return TensorType([Dyn if (isinstance(d, int) and d == -1) or not
+                               isinstance(d, int) else d for d in dims])
+        return Dyn
+
+    return Dyn
+
+
+def _flatten_type(x: Type, start: int, end: int) -> Type:
+    if x is Dyn:
+        return Dyn
+    nd = len(x)
+    start, end = start % nd, end % nd
+    merged: Any = 1
+    for d in x[start:end + 1]:
+        if d is Dyn or merged is Dyn:
+            merged = Dyn
+        else:
+            merged *= d
+    return TensorType(list(x[:start]) + [merged] + list(x[end + 1:]))
+
+
+def _broadcast_type(a: Type, b: Type) -> Type:
+    if a is Dyn or b is Dyn:
+        return a if b is Dyn else b if a is Dyn else Dyn
+    ra, rb = list(reversed(a.dims)), list(reversed(b.dims))
+    out = []
+    for i in range(max(len(ra), len(rb))):
+        da = ra[i] if i < len(ra) else 1
+        db = rb[i] if i < len(rb) else 1
+        if da is Dyn and db is Dyn:
+            out.append(Dyn)
+            continue
+        if da is Dyn:
+            # Dyn could be 1 (broadcasting to db) or equal to db; the
+            # result is db unless db==1, in which case it mirrors Dyn.
+            out.append(db if db != 1 else Dyn)
+            continue
+        if db is Dyn:
+            out.append(da if da != 1 else Dyn)
+            continue
+        if da == 1:
+            out.append(db)
+        elif db == 1:
+            out.append(da)
+        elif da == db:
+            out.append(da)
+        else:
+            raise TypeCheckError(f"cannot broadcast {a} with {b}")
+    return TensorType(list(reversed(out)))
+
+
+def _fetch(gm: GraphModule, target: str):
+    obj: Any = gm
+    for atom in target.split("."):
+        obj = getattr(obj, atom)
+    return obj

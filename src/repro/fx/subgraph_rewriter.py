@@ -1,0 +1,199 @@
+"""Declarative subgraph rewriting: :func:`replace_pattern`.
+
+Both the pattern and the replacement are given as ordinary Python
+callables; they are symbolically traced and matched structurally against
+the target graph.  Pattern placeholders act as wildcards and carry their
+bindings over to the replacement's placeholders (positionally).
+
+Example — swap ``x.neg().relu()`` for ``x.relu().neg()``::
+
+    def pattern(x):
+        return repro.relu(x.neg())
+
+    def replacement(x):
+        return repro.relu(x).neg()
+
+    replace_pattern(traced_module, pattern, replacement)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .graph import Graph
+from .graph_module import GraphModule
+from .node import Node, map_arg
+from .tracer import symbolic_trace
+
+__all__ = ["Match", "replace_pattern", "SubgraphMatcher"]
+
+
+@dataclass
+class Match:
+    """One occurrence of the pattern in the target graph.
+
+    Attributes:
+        anchor: the target-graph node matched to the pattern's output value.
+        nodes_map: pattern node -> target node (placeholders map to whatever
+            value they bound, which may be a Node or an immediate).
+    """
+
+    anchor: Node
+    nodes_map: dict[Node, Any] = field(default_factory=dict)
+
+
+class SubgraphMatcher:
+    """Anchored structural matcher for basic-block pattern graphs."""
+
+    def __init__(self, pattern: Graph):
+        self.pattern = pattern
+        output = pattern.output_node
+        if len(output.args) != 1 or isinstance(output.args[0], (tuple, list, dict)):
+            if not isinstance(output.args[0], Node):
+                raise ValueError(
+                    "pattern must return exactly one traced value (its output "
+                    "is the match anchor)"
+                )
+        anchor_arg = output.args[0]
+        if not isinstance(anchor_arg, Node):
+            raise ValueError("pattern output must be a Node")
+        self.pattern_anchor: Node = anchor_arg
+        self.nodes_map: dict[Node, Any] = {}
+
+    def matches_subgraph_from_anchor(self, anchor: Node) -> bool:
+        """Try to match the pattern with its output anchored at *anchor*."""
+        self.nodes_map = {}
+        return self._match_nodes(self.pattern_anchor, anchor)
+
+    def _match_nodes(self, pn: Node, gn: Any) -> bool:
+        if pn in self.nodes_map:
+            return self.nodes_map[pn] is gn or self.nodes_map[pn] == gn
+        if pn.op == "placeholder":
+            # Wildcard: binds any value (Node or immediate), consistently.
+            self.nodes_map[pn] = gn
+            return True
+        if not isinstance(gn, Node):
+            return False
+        if pn.op != gn.op or pn.target != gn.target:
+            return False
+        if len(pn.args) != len(gn.args) or set(pn.kwargs) != set(gn.kwargs):
+            return False
+        self.nodes_map[pn] = gn
+        for pa, ga in zip(pn.args, gn.args):
+            if not self._match_arg(pa, ga):
+                return False
+        for key in pn.kwargs:
+            if not self._match_arg(pn.kwargs[key], gn.kwargs[key]):
+                return False
+        return True
+
+    def _match_arg(self, pa: Any, ga: Any) -> bool:
+        if isinstance(pa, Node):
+            return self._match_nodes(pa, ga)
+        if isinstance(pa, (tuple, list)):
+            if not isinstance(ga, (tuple, list)) or len(pa) != len(ga):
+                return False
+            return all(self._match_arg(p, g) for p, g in zip(pa, ga))
+        if isinstance(ga, Node):
+            return False  # immediate in pattern cannot match a computed value
+        return pa == ga
+
+
+def replace_pattern(
+    gm: GraphModule,
+    pattern: Callable | Graph,
+    replacement: Callable | Graph,
+) -> list[Match]:
+    """Replace every non-overlapping occurrence of *pattern* in ``gm.graph``
+    with *replacement*.
+
+    Pattern placeholders bind positionally to replacement placeholders.
+    Matched nodes whose values escape the match (used by nodes outside it,
+    other than through the anchor) are left untouched.
+
+    Returns:
+        The list of :class:`Match` objects that were rewritten.
+    """
+    pattern_graph = pattern if isinstance(pattern, Graph) else symbolic_trace(pattern).graph
+    replacement_graph = (
+        replacement if isinstance(replacement, Graph) else symbolic_trace(replacement).graph
+    )
+    matcher = SubgraphMatcher(pattern_graph)
+
+    pattern_placeholders = [n for n in pattern_graph.nodes if n.op == "placeholder"]
+    replacement_placeholders = [n for n in replacement_graph.nodes if n.op == "placeholder"]
+    if len(pattern_placeholders) != len(replacement_placeholders):
+        raise ValueError(
+            "pattern and replacement must take the same number of arguments "
+            f"({len(pattern_placeholders)} vs {len(replacement_placeholders)})"
+        )
+
+    matches: list[Match] = []
+    claimed: set[Node] = set()  # target nodes consumed by an accepted match
+
+    for node in list(gm.graph.nodes):
+        if node in claimed:
+            continue
+        if not matcher.matches_subgraph_from_anchor(node):
+            continue
+        internal = {
+            g for p, g in matcher.nodes_map.items()
+            if isinstance(g, Node) and p.op != "placeholder"
+        }
+        if internal & claimed:
+            continue
+        # Reject matches whose interior values escape: every user of a
+        # non-anchor internal node must itself be internal.
+        anchor_gn = matcher.nodes_map[matcher.pattern_anchor]
+        ok = True
+        for g in internal:
+            if g is anchor_gn:
+                continue
+            if any(u not in internal for u in g.users):
+                ok = False
+                break
+        if not ok:
+            continue
+        matches.append(Match(anchor=anchor_gn, nodes_map=dict(matcher.nodes_map)))
+        claimed |= internal
+
+    # Earlier rewrites can replace a node that a later match's wildcard
+    # bound (its anchor becomes the replacement's output); chase through.
+    replaced: dict[Node, Node] = {}
+
+    def resolve(value: Any) -> Any:
+        while isinstance(value, Node) and value in replaced:
+            value = replaced[value]
+        return value
+
+    for match in matches:
+        anchor_gn = match.anchor
+        # Seed the replacement copy's placeholder values from the pattern's
+        # wildcard bindings (positional correspondence).
+        val_map: dict[Node, Any] = {}
+        for p_ph, r_ph in zip(pattern_placeholders, replacement_placeholders):
+            val_map[r_ph] = resolve(match.nodes_map[p_ph])
+        with gm.graph.inserting_before(anchor_gn):
+            new_output = gm.graph.graph_copy(replacement_graph, val_map)
+        assert new_output is not None
+        anchor_gn.replace_all_uses_with(new_output)
+        replaced[anchor_gn] = new_output
+        # Erase the matched interior, leaves-last.
+        internal = [
+            g for p, g in match.nodes_map.items()
+            if isinstance(g, Node) and p.op != "placeholder"
+        ]
+        for g in sorted(internal, key=_topo_index(gm.graph), reverse=True):
+            if not g.users:
+                gm.graph.erase_node(g)
+
+    if matches:
+        gm.graph.eliminate_dead_code()
+        gm.recompile()
+    return matches
+
+
+def _topo_index(graph: Graph):
+    order = {n: i for i, n in enumerate(graph.nodes)}
+    return lambda n: order.get(n, -1)

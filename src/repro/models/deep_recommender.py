@@ -1,0 +1,56 @@
+"""DeepRecommender (Kuchaiev & Ginsburg, 2017) — deep autoencoder for
+collaborative filtering.
+
+This is the quantization workload of §6.2.1 / Figure 6 / Appendix B.  The
+original model is a 6-layer selu autoencoder over the Netflix-prize item
+vector (n ≈ 17.7k items); encoder 17768→512→512→1024, decoder mirrored,
+with dropout at the bottleneck.  The model is dominated by large dense
+layers, which is exactly why int8 quantization pays off on it.
+
+The item count is configurable so tests can instantiate small versions;
+the benchmark uses the paper-scale default.
+"""
+
+from __future__ import annotations
+
+from .. import nn
+
+__all__ = ["DeepRecommender", "deep_recommender"]
+
+
+class DeepRecommender(nn.Module):
+    """Autoencoder: ``n_items -> hidden... -> bottleneck -> ...hidden -> n_items``."""
+
+    def __init__(
+        self,
+        n_items: int = 17768,
+        layer_sizes: tuple[int, ...] = (512, 512, 1024),
+        dropout: float = 0.8,
+    ):
+        super().__init__()
+        self.n_items = n_items
+        sizes = (n_items,) + tuple(layer_sizes)
+        encoder = []
+        for i in range(len(sizes) - 1):
+            encoder.append(nn.Linear(sizes[i], sizes[i + 1]))
+            encoder.append(nn.SELU())
+        self.encoder = nn.Sequential(*encoder)
+        self.drop = nn.Dropout(dropout)
+        decoder = []
+        rev = tuple(reversed(sizes))
+        for i in range(len(rev) - 1):
+            decoder.append(nn.Linear(rev[i], rev[i + 1]))
+            # last decoder layer has no activation (rating regression output)
+            if i != len(rev) - 2:
+                decoder.append(nn.SELU())
+        self.decoder = nn.Sequential(*decoder)
+
+    def forward(self, x):
+        z = self.encoder(x)
+        z = self.drop(z)
+        return self.decoder(z)
+
+
+def deep_recommender(n_items: int = 17768) -> DeepRecommender:
+    """Paper-scale DeepRecommender (encoder 512-512-1024)."""
+    return DeepRecommender(n_items=n_items)

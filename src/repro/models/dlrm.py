@@ -1,0 +1,77 @@
+"""DLRM-style recommendation model (Naumov et al., 2019).
+
+The personalization/recommendation workload the paper cites as a
+basic-block program (§2.3): dense MLP over continuous features, embedding
+bags over categorical features, pairwise feature interaction, and a top
+MLP.  Used in tests/examples to exercise multi-input tracing and
+embedding ops.
+"""
+
+from __future__ import annotations
+
+from .. import functional as F
+from .. import nn
+
+__all__ = ["DLRM"]
+
+
+class DLRM(nn.Module):
+    """Simplified DLRM: bottom MLP + per-feature embeddings + dot interaction.
+
+    Args:
+        num_dense: number of continuous input features.
+        embedding_specs: ``(cardinality, dim)`` per categorical feature;
+            all dims must equal the bottom MLP output dim.
+        bottom_mlp / top_mlp: hidden layer widths.
+    """
+
+    def __init__(
+        self,
+        num_dense: int = 13,
+        embedding_specs: tuple[tuple[int, int], ...] = ((1000, 16), (1000, 16), (1000, 16)),
+        bottom_mlp: tuple[int, ...] = (64, 16),
+        top_mlp: tuple[int, ...] = (64, 32),
+    ):
+        super().__init__()
+        dims = {dim for _, dim in embedding_specs}
+        if dims != {bottom_mlp[-1]}:
+            raise ValueError(
+                f"all embedding dims {dims} must equal bottom MLP output {bottom_mlp[-1]}"
+            )
+        self.embeddings = nn.ModuleList(
+            [nn.Embedding(card, dim) for card, dim in embedding_specs]
+        )
+        sizes = (num_dense,) + tuple(bottom_mlp)
+        bot = []
+        for i in range(len(sizes) - 1):
+            bot.append(nn.Linear(sizes[i], sizes[i + 1]))
+            bot.append(nn.ReLU())
+        self.bottom = nn.Sequential(*bot)
+        n_features = len(embedding_specs) + 1
+        n_interactions = n_features * (n_features - 1) // 2
+        top_in = bottom_mlp[-1] + n_interactions
+        sizes = (top_in,) + tuple(top_mlp)
+        top = []
+        for i in range(len(sizes) - 1):
+            top.append(nn.Linear(sizes[i], sizes[i + 1]))
+            top.append(nn.ReLU())
+        top.append(nn.Linear(sizes[-1], 1))
+        self.top = nn.Sequential(*top)
+        self.sigmoid = nn.Sigmoid()
+        self._n_features = n_features
+
+    def forward(self, dense, cat0, cat1, cat2):
+        """Forward over one dense tensor and one index tensor per feature.
+
+        (Fixed arity keeps the signature traceable — symbolic tracing
+        rejects variadic forwards.)
+        """
+        d = self.bottom(dense)
+        embs = [emb(idx) for emb, idx in zip(self.embeddings, (cat0, cat1, cat2))]
+        feats = F.stack([d] + embs, dim=1)  # (N, F, D)
+        inter = F.bmm(feats, feats.transpose(1, 2))  # (N, F, F)
+        n = self._n_features
+        pairs = [inter[:, i, j] for i in range(n) for j in range(i + 1, n)]
+        flat = F.stack(pairs, dim=1)  # (N, F*(F-1)/2)
+        z = F.cat([d, flat], dim=1)
+        return self.sigmoid(self.top(z))

@@ -1,0 +1,77 @@
+"""LearningToPaint actor network (Huang et al., 2019).
+
+The second TensorRT-lowering workload of §6.4 / Figure 8 / Appendix D.
+The actor in the reference implementation is a ResNet-18-style trunk over
+a 9-channel 128x128 canvas/target/step-embedding input, with a fully
+connected head producing a 65-dim stroke-parameter vector squashed by a
+sigmoid.  It is much shallower/cheaper than ResNet-50, which is why the
+paper sees a smaller (1.54x vs 3.7x) lowering speedup — less framework
+overhead to amortize per useful FLOP.
+"""
+
+from __future__ import annotations
+
+from .. import nn
+from .resnet import BasicBlock, ResNet
+
+__all__ = ["LearningToPaintActor", "NeuralRenderer",
+           "learning_to_paint_actor", "neural_renderer"]
+
+
+class LearningToPaintActor(nn.Module):
+    """ResNet-18 trunk (9-channel input) + sigmoid stroke head."""
+
+    def __init__(self, in_channels: int = 9, action_dim: int = 65):
+        super().__init__()
+        self.trunk = ResNet(BasicBlock, [2, 2, 2, 2], num_classes=action_dim,
+                            in_channels=in_channels)
+        self.sigmoid = nn.Sigmoid()
+
+    def forward(self, x):
+        return self.sigmoid(self.trunk(x))
+
+
+def learning_to_paint_actor() -> LearningToPaintActor:
+    """Paper-scale actor: 9x128x128 input, 65-dim stroke output."""
+    return LearningToPaintActor()
+
+
+class NeuralRenderer(nn.Module):
+    """LearningToPaint's differentiable stroke renderer.
+
+    Maps a stroke-parameter vector to a grayscale canvas patch: an FC
+    stack lifts the parameters onto a coarse spatial grid, then
+    convolutions interleaved with upsampling (pixel-shuffle in the
+    reference; nearest upsampling + conv here) decode to the full
+    resolution, ending in a sigmoid ink mask.
+    """
+
+    def __init__(self, param_dim: int = 10, canvas: int = 32):
+        super().__init__()
+        if canvas % 8:
+            raise ValueError("canvas size must be divisible by 8")
+        self.canvas = canvas
+        base = canvas // 8
+        self.base = base
+        self.fc = nn.Sequential(
+            nn.Linear(param_dim, 256), nn.ReLU(),
+            nn.Linear(256, 16 * base * base), nn.ReLU(),
+        )
+        self.decode = nn.Sequential(
+            nn.Upsample(scale_factor=2),
+            nn.Conv2d(16, 16, 3, padding=1), nn.ReLU(),
+            nn.Upsample(scale_factor=2),
+            nn.Conv2d(16, 8, 3, padding=1), nn.ReLU(),
+            nn.ConvTranspose2d(8, 1, 2, stride=2),
+            nn.Sigmoid(),
+        )
+
+    def forward(self, params):
+        h = self.fc(params)
+        h = h.reshape(-1, 16, self.base, self.base)
+        return self.decode(h)
+
+
+def neural_renderer(canvas: int = 32) -> NeuralRenderer:
+    """Stroke renderer at the given canvas resolution (paper: 128)."""
+    return NeuralRenderer(canvas=canvas)

@@ -1,0 +1,148 @@
+"""ResNet family (He et al., 2015), following torchvision's layer plan.
+
+ResNet-50 is the paper's main evaluation workload: Figure 5 counts its IR
+operations under the three front-ends, Figure 7 measures Conv–BatchNorm
+fusion on it, and Figure 8 lowers it to the TensorRT-like backend.
+"""
+
+from __future__ import annotations
+
+from .. import nn
+
+__all__ = ["ResNet", "BasicBlock", "Bottleneck", "resnet18", "resnet34", "resnet50"]
+
+
+def conv3x3(in_planes: int, out_planes: int, stride: int = 1) -> nn.Conv2d:
+    return nn.Conv2d(in_planes, out_planes, kernel_size=3, stride=stride,
+                     padding=1, bias=False)
+
+
+def conv1x1(in_planes: int, out_planes: int, stride: int = 1) -> nn.Conv2d:
+    return nn.Conv2d(in_planes, out_planes, kernel_size=1, stride=stride, bias=False)
+
+
+class BasicBlock(nn.Module):
+    """Two 3x3 convs with identity shortcut (ResNet-18/34)."""
+
+    expansion = 1
+
+    def __init__(self, inplanes: int, planes: int, stride: int = 1,
+                 downsample: nn.Module | None = None):
+        super().__init__()
+        self.conv1 = conv3x3(inplanes, planes, stride)
+        self.bn1 = nn.BatchNorm2d(planes)
+        self.relu = nn.ReLU(inplace=True)
+        self.conv2 = conv3x3(planes, planes)
+        self.bn2 = nn.BatchNorm2d(planes)
+        self.downsample = downsample
+        self.stride = stride
+
+    def forward(self, x):
+        identity = x
+        out = self.conv1(x)
+        out = self.bn1(out)
+        out = self.relu(out)
+        out = self.conv2(out)
+        out = self.bn2(out)
+        if self.downsample is not None:
+            identity = self.downsample(x)
+        out = out + identity
+        out = self.relu(out)
+        return out
+
+
+class Bottleneck(nn.Module):
+    """1x1 → 3x3 → 1x1 bottleneck with 4x channel expansion (ResNet-50+)."""
+
+    expansion = 4
+
+    def __init__(self, inplanes: int, planes: int, stride: int = 1,
+                 downsample: nn.Module | None = None):
+        super().__init__()
+        self.conv1 = conv1x1(inplanes, planes)
+        self.bn1 = nn.BatchNorm2d(planes)
+        self.conv2 = conv3x3(planes, planes, stride)
+        self.bn2 = nn.BatchNorm2d(planes)
+        self.conv3 = conv1x1(planes, planes * self.expansion)
+        self.bn3 = nn.BatchNorm2d(planes * self.expansion)
+        self.relu = nn.ReLU(inplace=True)
+        self.downsample = downsample
+        self.stride = stride
+
+    def forward(self, x):
+        identity = x
+        out = self.conv1(x)
+        out = self.bn1(out)
+        out = self.relu(out)
+        out = self.conv2(out)
+        out = self.bn2(out)
+        out = self.relu(out)
+        out = self.conv3(out)
+        out = self.bn3(out)
+        if self.downsample is not None:
+            identity = self.downsample(x)
+        out = out + identity
+        out = self.relu(out)
+        return out
+
+
+class ResNet(nn.Module):
+    """Deep residual network over 224x224 (or smaller) NCHW images."""
+
+    def __init__(self, block: type, layers: list[int], num_classes: int = 1000,
+                 in_channels: int = 3):
+        super().__init__()
+        self.inplanes = 64
+        self.conv1 = nn.Conv2d(in_channels, 64, kernel_size=7, stride=2, padding=3,
+                               bias=False)
+        self.bn1 = nn.BatchNorm2d(64)
+        self.relu = nn.ReLU(inplace=True)
+        self.maxpool = nn.MaxPool2d(kernel_size=3, stride=2, padding=1)
+        self.layer1 = self._make_layer(block, 64, layers[0])
+        self.layer2 = self._make_layer(block, 128, layers[1], stride=2)
+        self.layer3 = self._make_layer(block, 256, layers[2], stride=2)
+        self.layer4 = self._make_layer(block, 512, layers[3], stride=2)
+        self.avgpool = nn.AdaptiveAvgPool2d((1, 1))
+        self.fc = nn.Linear(512 * block.expansion, num_classes)
+
+    def _make_layer(self, block: type, planes: int, blocks: int, stride: int = 1):
+        downsample = None
+        if stride != 1 or self.inplanes != planes * block.expansion:
+            downsample = nn.Sequential(
+                conv1x1(self.inplanes, planes * block.expansion, stride),
+                nn.BatchNorm2d(planes * block.expansion),
+            )
+        layers = [block(self.inplanes, planes, stride, downsample)]
+        self.inplanes = planes * block.expansion
+        for _ in range(1, blocks):
+            layers.append(block(self.inplanes, planes))
+        return nn.Sequential(*layers)
+
+    def forward(self, x):
+        x = self.conv1(x)
+        x = self.bn1(x)
+        x = self.relu(x)
+        x = self.maxpool(x)
+        x = self.layer1(x)
+        x = self.layer2(x)
+        x = self.layer3(x)
+        x = self.layer4(x)
+        x = self.avgpool(x)
+        x = x.flatten(1)
+        x = self.fc(x)
+        return x
+
+
+def resnet18(num_classes: int = 1000, in_channels: int = 3) -> ResNet:
+    """ResNet-18 (BasicBlock, [2, 2, 2, 2])."""
+    return ResNet(BasicBlock, [2, 2, 2, 2], num_classes, in_channels)
+
+
+def resnet34(num_classes: int = 1000, in_channels: int = 3) -> ResNet:
+    """ResNet-34 (BasicBlock, [3, 4, 6, 3])."""
+    return ResNet(BasicBlock, [3, 4, 6, 3], num_classes, in_channels)
+
+
+def resnet50(num_classes: int = 1000, in_channels: int = 3) -> ResNet:
+    """ResNet-50 (Bottleneck, [3, 4, 6, 3]) — the paper's benchmark model."""
+    return ResNet(Bottleneck, [3, 4, 6, 3], num_classes, in_channels)

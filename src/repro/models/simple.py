@@ -1,0 +1,59 @@
+"""Small reference models used across tests and examples."""
+
+from __future__ import annotations
+
+from .. import nn
+
+__all__ = ["MLP", "SimpleCNN", "ConvBNReLU"]
+
+
+class MLP(nn.Module):
+    """Multilayer perceptron with ReLU activations."""
+
+    def __init__(self, in_features: int, hidden: tuple[int, ...], out_features: int):
+        super().__init__()
+        sizes = (in_features,) + tuple(hidden)
+        layers = []
+        for i in range(len(sizes) - 1):
+            layers.append(nn.Linear(sizes[i], sizes[i + 1]))
+            layers.append(nn.ReLU())
+        layers.append(nn.Linear(sizes[-1], out_features))
+        self.net = nn.Sequential(*layers)
+
+    def forward(self, x):
+        return self.net(x)
+
+
+class ConvBNReLU(nn.Module):
+    """The canonical fusion target: Conv2d -> BatchNorm2d -> ReLU."""
+
+    def __init__(self, in_ch: int, out_ch: int, kernel_size: int = 3,
+                 stride: int = 1, padding: int = 1):
+        super().__init__()
+        self.conv = nn.Conv2d(in_ch, out_ch, kernel_size, stride, padding, bias=False)
+        self.bn = nn.BatchNorm2d(out_ch)
+        self.relu = nn.ReLU()
+
+    def forward(self, x):
+        return self.relu(self.bn(self.conv(x)))
+
+
+class SimpleCNN(nn.Module):
+    """Small CNN classifier (two conv-bn-relu stages + linear head)."""
+
+    def __init__(self, in_channels: int = 3, num_classes: int = 10):
+        super().__init__()
+        self.stage1 = ConvBNReLU(in_channels, 16)
+        self.pool1 = nn.MaxPool2d(2)
+        self.stage2 = ConvBNReLU(16, 32)
+        self.pool2 = nn.MaxPool2d(2)
+        self.head = nn.Sequential(
+            nn.AdaptiveAvgPool2d((4, 4)),
+            nn.Flatten(),
+            nn.Linear(32 * 4 * 4, num_classes),
+        )
+
+    def forward(self, x):
+        x = self.pool1(self.stage1(x))
+        x = self.pool2(self.stage2(x))
+        return self.head(x)

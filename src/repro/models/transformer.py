@@ -1,0 +1,56 @@
+"""Transformer encoder (Vaswani et al., 2017).
+
+§5.5's motivating case: attention-based models are basic-block programs
+(no input-dependent control flow in the encoder), so they symbolically
+trace cleanly despite their depth.
+"""
+
+from __future__ import annotations
+
+from .. import nn
+
+__all__ = ["TransformerEncoderLayer", "TransformerEncoder"]
+
+
+class TransformerEncoderLayer(nn.Module):
+    """Pre-LN encoder block: MHA + feedforward, residual connections."""
+
+    def __init__(self, d_model: int, nhead: int, dim_feedforward: int = 2048,
+                 dropout: float = 0.1):
+        super().__init__()
+        self.self_attn = nn.MultiheadAttention(d_model, nhead)
+        self.linear1 = nn.Linear(d_model, dim_feedforward)
+        self.linear2 = nn.Linear(dim_feedforward, d_model)
+        self.norm1 = nn.LayerNorm(d_model)
+        self.norm2 = nn.LayerNorm(d_model)
+        self.dropout = nn.Dropout(dropout)
+        self.activation = nn.GELU()
+
+    def forward(self, x):
+        h = self.norm1(x)
+        attn_out, _ = self.self_attn(h, h, h)
+        x = x + self.dropout(attn_out)
+        h = self.norm2(x)
+        h = self.linear2(self.dropout(self.activation(self.linear1(h))))
+        return x + h
+
+
+class TransformerEncoder(nn.Module):
+    """Stack of encoder layers with token embedding and output projection."""
+
+    def __init__(self, vocab_size: int, d_model: int = 128, nhead: int = 4,
+                 num_layers: int = 2, dim_feedforward: int = 256):
+        super().__init__()
+        self.embed = nn.Embedding(vocab_size, d_model)
+        self.layers = nn.ModuleList(
+            [TransformerEncoderLayer(d_model, nhead, dim_feedforward)
+             for _ in range(num_layers)]
+        )
+        self.norm = nn.LayerNorm(d_model)
+        self.out_proj = nn.Linear(d_model, vocab_size)
+
+    def forward(self, tokens):
+        x = self.embed(tokens)
+        for layer in self.layers:
+            x = layer(x)
+        return self.out_proj(self.norm(x))

@@ -1,0 +1,127 @@
+"""Activation modules (thin wrappers over :mod:`repro.functional`)."""
+
+from __future__ import annotations
+
+from .. import functional as F
+from .module import Module
+
+__all__ = [
+    "ReLU", "ReLU6", "LeakyReLU", "ELU", "SELU", "GELU", "SiLU", "Mish",
+    "Sigmoid", "Tanh", "Softmax", "LogSoftmax", "Hardtanh", "Hardsigmoid",
+    "Hardswish", "Softplus",
+]
+
+
+class ReLU(Module):
+    def __init__(self, inplace: bool = False):
+        super().__init__()
+        self.inplace = inplace  # accepted for API parity; substrate is out-of-place
+
+    def forward(self, x):
+        return F.relu(x)
+
+
+class ReLU6(Module):
+    def forward(self, x):
+        return F.relu6(x)
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x):
+        return F.leaky_relu(x, self.negative_slope)
+
+    def extra_repr(self) -> str:
+        return f"negative_slope={self.negative_slope}"
+
+
+class ELU(Module):
+    def __init__(self, alpha: float = 1.0):
+        super().__init__()
+        self.alpha = alpha
+
+    def forward(self, x):
+        return F.elu(x, self.alpha)
+
+
+class SELU(Module):
+    def forward(self, x):
+        return F.selu(x)
+
+
+class GELU(Module):
+    def forward(self, x):
+        return F.gelu(x)
+
+
+class SiLU(Module):
+    def forward(self, x):
+        return F.silu(x)
+
+
+class Mish(Module):
+    def forward(self, x):
+        return F.mish(x)
+
+
+class Sigmoid(Module):
+    def forward(self, x):
+        return F.sigmoid(x)
+
+
+class Tanh(Module):
+    def forward(self, x):
+        return F.tanh(x)
+
+
+class Softmax(Module):
+    def __init__(self, dim: int = -1):
+        super().__init__()
+        self.dim = dim
+
+    def forward(self, x):
+        return F.softmax(x, dim=self.dim)
+
+    def extra_repr(self) -> str:
+        return f"dim={self.dim}"
+
+
+class LogSoftmax(Module):
+    def __init__(self, dim: int = -1):
+        super().__init__()
+        self.dim = dim
+
+    def forward(self, x):
+        return F.log_softmax(x, dim=self.dim)
+
+
+class Hardtanh(Module):
+    def __init__(self, min_val: float = -1.0, max_val: float = 1.0):
+        super().__init__()
+        self.min_val = min_val
+        self.max_val = max_val
+
+    def forward(self, x):
+        return F.hardtanh(x, self.min_val, self.max_val)
+
+
+class Hardsigmoid(Module):
+    def forward(self, x):
+        return F.hardsigmoid(x)
+
+
+class Hardswish(Module):
+    def forward(self, x):
+        return F.hardswish(x)
+
+
+class Softplus(Module):
+    def __init__(self, beta: float = 1.0):
+        super().__init__()
+        self.beta = beta
+
+    def forward(self, x):
+        return F.softplus(x, self.beta)

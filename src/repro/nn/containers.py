@@ -1,0 +1,114 @@
+"""Module containers: ``Sequential``, ``ModuleList``, ``ModuleDict``.
+
+``Sequential``'s forward is a Python loop over submodules — the canonical
+example (§5.1) of control flow *not* dependent on inputs that symbolic
+tracing flattens away.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Iterator
+
+from .module import Module
+
+__all__ = ["Sequential", "ModuleList", "ModuleDict"]
+
+
+class Sequential(Module):
+    """Chain of modules applied in order.
+
+    Accepts either positional modules or a single ``OrderedDict`` of
+    ``name -> module``.
+    """
+
+    def __init__(self, *modules):
+        super().__init__()
+        if len(modules) == 1 and isinstance(modules[0], OrderedDict):
+            for name, m in modules[0].items():
+                self.add_module(name, m)
+        else:
+            for i, m in enumerate(modules):
+                self.add_module(str(i), m)
+
+    def forward(self, x):
+        for m in self._modules.values():
+            x = m(x)
+        return x
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return Sequential(*list(self._modules.values())[idx])
+        keys = list(self._modules.keys())
+        return self._modules[keys[idx]]
+
+    def append(self, module: Module) -> "Sequential":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+
+class ModuleList(Module):
+    """List of modules (registered, but with no forward of its own)."""
+
+    def __init__(self, modules: Iterable[Module] = ()):
+        super().__init__()
+        for m in modules:
+            self.append(m)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.add_module(str(len(self._modules)), module)
+        return self
+
+    def extend(self, modules: Iterable[Module]) -> "ModuleList":
+        for m in modules:
+            self.append(m)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return ModuleList(list(self._modules.values())[idx])
+        keys = list(self._modules.keys())
+        return self._modules[keys[idx]]
+
+
+class ModuleDict(Module):
+    """Dict of modules (registered under their keys)."""
+
+    def __init__(self, modules: dict[str, Module] | None = None):
+        super().__init__()
+        if modules:
+            for name, m in modules.items():
+                self.add_module(name, m)
+
+    def __getitem__(self, key: str) -> Module:
+        return self._modules[key]
+
+    def __setitem__(self, key: str, module: Module) -> None:
+        self.add_module(key, module)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._modules
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def keys(self):
+        return self._modules.keys()
+
+    def items(self):
+        return self._modules.items()
+
+    def values(self):
+        return self._modules.values()

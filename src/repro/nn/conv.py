@@ -1,0 +1,171 @@
+"""Convolution layers."""
+
+from __future__ import annotations
+
+import math
+
+from .. import functional as F
+from ..functional import _pair
+from ..tensor import zeros
+from . import init
+from .module import Module
+from .parameter import Parameter
+
+__all__ = ["Conv2d", "Conv1d", "ConvTranspose2d"]
+
+
+class _ConvNd(Module):
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride,
+        padding,
+        dilation,
+        groups: int,
+        bias: bool,
+        weight_shape: tuple,
+    ):
+        super().__init__()
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("in/out channels must be divisible by groups")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.dilation = dilation
+        self.groups = groups
+        self.weight = Parameter(zeros(*weight_shape))
+        if bias:
+            self.bias = Parameter(zeros(out_channels))
+        else:
+            self.register_parameter("bias", None)
+        self.reset_parameters()
+
+    def reset_parameters(self) -> None:
+        init.kaiming_uniform_(self.weight, a=math.sqrt(5))
+        if self.bias is not None:
+            fan_in, _ = init.calculate_fan_in_and_fan_out(self.weight)
+            bound = 1 / math.sqrt(fan_in) if fan_in > 0 else 0
+            init.uniform_(self.bias, -bound, bound)
+
+    def extra_repr(self) -> str:
+        s = (
+            f"{self.in_channels}, {self.out_channels}, kernel_size={self.kernel_size}, "
+            f"stride={self.stride}"
+        )
+        if self.padding not in (0, (0, 0)):
+            s += f", padding={self.padding}"
+        if self.dilation not in (1, (1, 1)):
+            s += f", dilation={self.dilation}"
+        if self.groups != 1:
+            s += f", groups={self.groups}"
+        if self.bias is None:
+            s += ", bias=False"
+        return s
+
+
+class Conv2d(_ConvNd):
+    """2-D convolution over NCHW inputs (cross-correlation, like torch)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride=1,
+        padding=0,
+        dilation=1,
+        groups: int = 1,
+        bias: bool = True,
+    ):
+        kh, kw = _pair(kernel_size)
+        super().__init__(
+            in_channels, out_channels, (kh, kw), _pair(stride), _pair(padding),
+            _pair(dilation), groups, bias,
+            weight_shape=(out_channels, in_channels // groups, kh, kw),
+        )
+
+    def forward(self, x):
+        return F.conv2d(
+            x, self.weight, self.bias,
+            stride=self.stride, padding=self.padding,
+            dilation=self.dilation, groups=self.groups,
+        )
+
+
+class Conv1d(_ConvNd):
+    """1-D convolution over NCL inputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        dilation: int = 1,
+        groups: int = 1,
+        bias: bool = True,
+    ):
+        super().__init__(
+            in_channels, out_channels, int(kernel_size), int(stride), int(padding),
+            int(dilation), groups, bias,
+            weight_shape=(out_channels, in_channels // groups, int(kernel_size)),
+        )
+
+    def forward(self, x):
+        return F.conv1d(
+            x, self.weight, self.bias,
+            stride=self.stride, padding=self.padding,
+            dilation=self.dilation, groups=self.groups,
+        )
+
+
+class ConvTranspose2d(Module):
+    """2-D transposed convolution (upsampling/deconvolution layer)."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride=1,
+        padding=0,
+        output_padding=0,
+        bias: bool = True,
+    ):
+        super().__init__()
+        kh, kw = _pair(kernel_size)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        self.output_padding = _pair(output_padding)
+        self.weight = Parameter(zeros(in_channels, out_channels, kh, kw))
+        if bias:
+            self.bias = Parameter(zeros(out_channels))
+        else:
+            self.register_parameter("bias", None)
+        init.kaiming_uniform_(self.weight, a=math.sqrt(5))
+        if self.bias is not None:
+            fan_in, _ = init.calculate_fan_in_and_fan_out(self.weight)
+            bound = 1 / math.sqrt(fan_in) if fan_in > 0 else 0
+            init.uniform_(self.bias, -bound, bound)
+
+    def forward(self, x):
+        return F.conv_transpose2d(
+            x, self.weight, self.bias,
+            stride=self.stride, padding=self.padding,
+            output_padding=self.output_padding,
+        )
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}, {self.out_channels}, "
+            f"kernel_size={self.kernel_size}, stride={self.stride}, "
+            f"padding={self.padding}"
+        )

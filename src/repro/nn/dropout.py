@@ -1,0 +1,24 @@
+"""Dropout regularization."""
+
+from __future__ import annotations
+
+from .. import functional as F
+from .module import Module
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Randomly zeroes elements with probability ``p`` during training."""
+
+    def __init__(self, p: float = 0.5):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+
+    def forward(self, x):
+        return F.dropout(x, self.p, training=self.training)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"

@@ -1,0 +1,130 @@
+"""Normalization layers: BatchNorm (with running stats), LayerNorm, GroupNorm.
+
+BatchNorm is the canonical example of "mutable state hidden inside a
+well-understood module" (§5.6): its running mean/var buffers are mutated
+during training, but fx traces it as a single opaque ``call_module`` node.
+"""
+
+from __future__ import annotations
+
+from .. import functional as F
+from ..tensor import Tensor, ones, zeros
+from .module import Module
+from .parameter import Parameter
+
+__all__ = ["BatchNorm1d", "BatchNorm2d", "LayerNorm", "GroupNorm"]
+
+
+class _BatchNorm(Module):
+    def __init__(
+        self,
+        num_features: int,
+        eps: float = 1e-5,
+        momentum: float = 0.1,
+        affine: bool = True,
+        track_running_stats: bool = True,
+    ):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.affine = affine
+        self.track_running_stats = track_running_stats
+        if affine:
+            self.weight = Parameter(ones(num_features))
+            self.bias = Parameter(zeros(num_features))
+        else:
+            self.register_parameter("weight", None)
+            self.register_parameter("bias", None)
+        if track_running_stats:
+            self.register_buffer("running_mean", zeros(num_features))
+            self.register_buffer("running_var", ones(num_features))
+        else:
+            self.register_buffer("running_mean", None)
+            self.register_buffer("running_var", None)
+
+    def _check_input_dim(self, x) -> None:
+        raise NotImplementedError
+
+    def forward(self, x):
+        self._check_input_dim(x)
+        use_batch_stats = self.training or not self.track_running_stats
+        return F.batch_norm(
+            x,
+            self.running_mean,
+            self.running_var,
+            self.weight,
+            self.bias,
+            training=use_batch_stats,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.num_features}, eps={self.eps}, momentum={self.momentum}, "
+            f"affine={self.affine}, track_running_stats={self.track_running_stats}"
+        )
+
+
+class BatchNorm1d(_BatchNorm):
+    """BatchNorm over (N, C) or (N, C, L) inputs."""
+
+    def _check_input_dim(self, x) -> None:
+        if isinstance(x, Tensor) and x.ndim not in (2, 3):
+            raise ValueError(f"expected 2D or 3D input, got {x.ndim}D")
+
+
+class BatchNorm2d(_BatchNorm):
+    """BatchNorm over (N, C, H, W) inputs."""
+
+    def _check_input_dim(self, x) -> None:
+        if isinstance(x, Tensor) and x.ndim != 4:
+            raise ValueError(f"expected 4D input, got {x.ndim}D")
+
+
+class LayerNorm(Module):
+    """Normalization over the trailing ``normalized_shape`` dims."""
+
+    def __init__(self, normalized_shape, eps: float = 1e-5, elementwise_affine: bool = True):
+        super().__init__()
+        if isinstance(normalized_shape, int):
+            normalized_shape = (normalized_shape,)
+        self.normalized_shape = tuple(normalized_shape)
+        self.eps = eps
+        self.elementwise_affine = elementwise_affine
+        if elementwise_affine:
+            self.weight = Parameter(ones(*self.normalized_shape))
+            self.bias = Parameter(zeros(*self.normalized_shape))
+        else:
+            self.register_parameter("weight", None)
+            self.register_parameter("bias", None)
+
+    def forward(self, x):
+        return F.layer_norm(x, self.normalized_shape, self.weight, self.bias, self.eps)
+
+    def extra_repr(self) -> str:
+        return f"{self.normalized_shape}, eps={self.eps}"
+
+
+class GroupNorm(Module):
+    """Normalization over channel groups."""
+
+    def __init__(self, num_groups: int, num_channels: int, eps: float = 1e-5, affine: bool = True):
+        super().__init__()
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        self.affine = affine
+        if affine:
+            self.weight = Parameter(ones(num_channels))
+            self.bias = Parameter(zeros(num_channels))
+        else:
+            self.register_parameter("weight", None)
+            self.register_parameter("bias", None)
+
+    def forward(self, x):
+        return F.group_norm(x, self.num_groups, self.weight, self.bias, self.eps)
+
+    def extra_repr(self) -> str:
+        return f"{self.num_groups}, {self.num_channels}, eps={self.eps}"

@@ -1,0 +1,67 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from .. import functional as F
+from .module import Module
+
+__all__ = ["MaxPool2d", "AvgPool2d", "AdaptiveAvgPool2d", "Upsample"]
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size, stride=None, padding=0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+
+    def forward(self, x):
+        return F.max_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size, stride=None, padding=0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+
+    def forward(self, x):
+        return F.avg_pool2d(x, self.kernel_size, self.stride, self.padding)
+
+    def extra_repr(self) -> str:
+        return f"kernel_size={self.kernel_size}, stride={self.stride}, padding={self.padding}"
+
+
+class AdaptiveAvgPool2d(Module):
+    def __init__(self, output_size):
+        super().__init__()
+        self.output_size = output_size
+
+    def forward(self, x):
+        return F.adaptive_avg_pool2d(x, self.output_size)
+
+    def extra_repr(self) -> str:
+        return f"output_size={self.output_size}"
+
+
+class Upsample(Module):
+    """Spatial upsampling via :func:`repro.functional.interpolate`."""
+
+    def __init__(self, scale_factor=None, size=None, mode: str = "nearest"):
+        super().__init__()
+        self.scale_factor = scale_factor
+        self.size = size
+        self.mode = mode
+
+    def forward(self, x):
+        return F.interpolate(x, size=self.size, scale_factor=self.scale_factor,
+                             mode=self.mode)
+
+    def extra_repr(self) -> str:
+        if self.size is not None:
+            return f"size={self.size}, mode={self.mode}"
+        return f"scale_factor={self.scale_factor}, mode={self.mode}"

@@ -1,0 +1,152 @@
+"""Recurrent layers (LSTM / GRU / Elman RNN).
+
+Per §2.3 of the paper, recurrent computation over a sequence is provided as
+a *wholesale tensor operation*: these modules contain an input-dependent
+Python loop internally, so they are default *leaf modules* for symbolic
+tracing — the whole RNN application shows up as one ``call_module`` node
+and the network remains a basic-block program.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..tensor import Tensor, zeros
+from ..tensor.tensor import _unwrap
+from . import init
+from .module import Module
+from .parameter import Parameter
+
+__all__ = ["LSTM", "GRU", "RNN"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    # numerically stable: never exponentiates a large positive value
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+class _RNNBase(Module):
+    """Shared plumbing: gate-stacked weights, (L, N, *) layout, state init."""
+
+    def __init__(self, input_size: int, hidden_size: int, num_gates: int,
+                 batch_first: bool = False):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.batch_first = batch_first
+        g = num_gates * hidden_size
+        self.weight_ih = Parameter(zeros(g, input_size))
+        self.weight_hh = Parameter(zeros(g, hidden_size))
+        self.bias_ih = Parameter(zeros(g))
+        self.bias_hh = Parameter(zeros(g))
+        bound = 1.0 / math.sqrt(hidden_size)
+        for p in (self.weight_ih, self.weight_hh, self.bias_ih, self.bias_hh):
+            init.uniform_(p, -bound, bound)
+
+    def _prep(self, x):
+        xu = np.asarray(_unwrap(x))
+        if self.batch_first:
+            xu = np.swapaxes(xu, 0, 1)
+        return xu  # (L, N, input)
+
+    def _out(self, seq: np.ndarray) -> Tensor:
+        if self.batch_first:
+            seq = np.swapaxes(seq, 0, 1)
+        return Tensor._wrap(np.ascontiguousarray(seq))
+
+    def extra_repr(self) -> str:
+        return f"{self.input_size}, {self.hidden_size}, batch_first={self.batch_first}"
+
+
+class LSTM(_RNNBase):
+    """Single-layer LSTM. Returns ``(output, (h_n, c_n))``."""
+
+    def __init__(self, input_size: int, hidden_size: int, batch_first: bool = False):
+        super().__init__(input_size, hidden_size, num_gates=4, batch_first=batch_first)
+
+    def forward(self, x, state=None):
+        xu = self._prep(x)
+        seq_len, n, _ = xu.shape
+        hs = self.hidden_size
+        if state is None:
+            h = np.zeros((n, hs), dtype=xu.dtype)
+            c = np.zeros((n, hs), dtype=xu.dtype)
+        else:
+            h = np.asarray(_unwrap(state[0])).reshape(n, hs)
+            c = np.asarray(_unwrap(state[1])).reshape(n, hs)
+        w_ih, w_hh = self.weight_ih.data, self.weight_hh.data
+        b = self.bias_ih.data + self.bias_hh.data
+        # Precompute all input projections in one matmul (L*N, 4H).
+        x_proj = xu.reshape(seq_len * n, -1) @ w_ih.T
+        x_proj = x_proj.reshape(seq_len, n, 4 * hs)
+        outs = np.empty((seq_len, n, hs), dtype=xu.dtype)
+        for t in range(seq_len):
+            gates = x_proj[t] + h @ w_hh.T + b
+            i = _sigmoid(gates[:, :hs])
+            f = _sigmoid(gates[:, hs : 2 * hs])
+            g = np.tanh(gates[:, 2 * hs : 3 * hs])
+            o = _sigmoid(gates[:, 3 * hs :])
+            c = f * c + i * g
+            h = o * np.tanh(c)
+            outs[t] = h
+        return self._out(outs), (Tensor._wrap(h[None]), Tensor._wrap(c[None]))
+
+
+class GRU(_RNNBase):
+    """Single-layer GRU. Returns ``(output, h_n)``."""
+
+    def __init__(self, input_size: int, hidden_size: int, batch_first: bool = False):
+        super().__init__(input_size, hidden_size, num_gates=3, batch_first=batch_first)
+
+    def forward(self, x, h0=None):
+        xu = self._prep(x)
+        seq_len, n, _ = xu.shape
+        hs = self.hidden_size
+        h = (
+            np.zeros((n, hs), dtype=xu.dtype)
+            if h0 is None
+            else np.asarray(_unwrap(h0)).reshape(n, hs)
+        )
+        w_ih, w_hh = self.weight_ih.data, self.weight_hh.data
+        b_ih, b_hh = self.bias_ih.data, self.bias_hh.data
+        x_proj = (xu.reshape(seq_len * n, -1) @ w_ih.T + b_ih).reshape(seq_len, n, 3 * hs)
+        outs = np.empty((seq_len, n, hs), dtype=xu.dtype)
+        for t in range(seq_len):
+            h_proj = h @ w_hh.T + b_hh
+            r = _sigmoid(x_proj[t, :, :hs] + h_proj[:, :hs])
+            z = _sigmoid(x_proj[t, :, hs : 2 * hs] + h_proj[:, hs : 2 * hs])
+            ncand = np.tanh(x_proj[t, :, 2 * hs :] + r * h_proj[:, 2 * hs :])
+            h = (1 - z) * ncand + z * h
+            outs[t] = h
+        return self._out(outs), Tensor._wrap(h[None])
+
+
+class RNN(_RNNBase):
+    """Single-layer Elman RNN with tanh nonlinearity. Returns ``(output, h_n)``."""
+
+    def __init__(self, input_size: int, hidden_size: int, batch_first: bool = False):
+        super().__init__(input_size, hidden_size, num_gates=1, batch_first=batch_first)
+
+    def forward(self, x, h0=None):
+        xu = self._prep(x)
+        seq_len, n, _ = xu.shape
+        hs = self.hidden_size
+        h = (
+            np.zeros((n, hs), dtype=xu.dtype)
+            if h0 is None
+            else np.asarray(_unwrap(h0)).reshape(n, hs)
+        )
+        b = self.bias_ih.data + self.bias_hh.data
+        x_proj = (xu.reshape(seq_len * n, -1) @ self.weight_ih.data.T).reshape(seq_len, n, hs)
+        outs = np.empty((seq_len, n, hs), dtype=xu.dtype)
+        for t in range(seq_len):
+            h = np.tanh(x_proj[t] + h @ self.weight_hh.data.T + b)
+            outs[t] = h
+        return self._out(outs), Tensor._wrap(h[None])

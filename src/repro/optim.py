@@ -1,0 +1,97 @@
+"""Optimizers for the autograd substrate (``SGD``, ``Adam``).
+
+Work with the explicit-gradient style of :class:`repro.autograd.Tape`::
+
+    opt = optim.SGD(model.parameters(), lr=0.1, momentum=0.9)
+    for x, y in data:
+        tape = Tape()
+        loss = F.mse_loss(model(tape.watch(x)), y)
+        opt.step(tape.gradients(loss, opt.params))
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base: holds the parameter list and applies per-parameter updates."""
+
+    def __init__(self, params: Iterable[Tensor]):
+        self.params: list[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+
+    def step(self, grads: Sequence[Tensor | None]) -> None:
+        """Apply one update given gradients aligned with ``self.params``."""
+        if len(grads) != len(self.params):
+            raise ValueError(
+                f"got {len(grads)} gradients for {len(self.params)} parameters"
+            )
+        for i, (p, g) in enumerate(zip(self.params, grads)):
+            if g is None:
+                continue
+            self._update(i, p, np.asarray(g.data, dtype=p.data.dtype))
+
+    def _update(self, index: int, param: Tensor, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, param: Tensor, grad: np.ndarray) -> None:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            v = self._velocity.get(index)
+            v = grad if v is None else self.momentum * v + grad
+            self._velocity[index] = v
+            grad = v
+        param.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(self, params, lr: float = 1e-3, betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, grads) -> None:
+        self._t += 1
+        super().step(grads)
+
+    def _update(self, index: int, param: Tensor, grad: np.ndarray) -> None:
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        m = self._m.get(index, np.zeros_like(param.data))
+        v = self._v.get(index, np.zeros_like(param.data))
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad * grad
+        self._m[index], self._v[index] = m, v
+        m_hat = m / (1 - self.beta1 ** self._t)
+        v_hat = v / (1 - self.beta2 ** self._t)
+        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,109 @@
+"""Tensor factory functions (``zeros``, ``randn``, …) and the global RNG.
+
+These mirror the torch namespace factories.  They are *not* dispatchable:
+factories take no tensor arguments, so there is nothing for a Proxy to
+intercept — during symbolic tracing a factory call simply executes and its
+result is embedded as a constant (matching torch.fx behaviour, where
+``torch.ones(...)`` inside a traced function is evaluated at trace time
+unless explicitly wrapped).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import dtype as _dt
+from .tensor import Tensor, _canon_shape
+
+__all__ = [
+    "zeros",
+    "ones",
+    "full",
+    "empty",
+    "arange",
+    "linspace",
+    "eye",
+    "rand",
+    "randn",
+    "randint",
+    "zeros_like",
+    "ones_like",
+    "randn_like",
+    "manual_seed",
+    "get_rng",
+]
+
+_rng = np.random.default_rng(0)
+
+
+def manual_seed(seed: int) -> None:
+    """Reseed the global generator (deterministic experiments)."""
+    global _rng
+    _rng = np.random.default_rng(seed)
+
+
+def get_rng() -> np.random.Generator:
+    return _rng
+
+
+def _np_dtype(dtype: _dt.DType | None, default=_dt.float32):
+    return (dtype or default).np_dtype
+
+
+def zeros(*shape, dtype: _dt.DType | None = None) -> Tensor:
+    return Tensor(np.zeros(_canon_shape(shape), dtype=_np_dtype(dtype)), dtype)
+
+
+def ones(*shape, dtype: _dt.DType | None = None) -> Tensor:
+    return Tensor(np.ones(_canon_shape(shape), dtype=_np_dtype(dtype)), dtype)
+
+
+def full(shape, fill_value, dtype: _dt.DType | None = None) -> Tensor:
+    return Tensor(np.full(tuple(shape), fill_value, dtype=_np_dtype(dtype)), dtype)
+
+
+def empty(*shape, dtype: _dt.DType | None = None) -> Tensor:
+    return Tensor(np.empty(_canon_shape(shape), dtype=_np_dtype(dtype)), dtype)
+
+
+def arange(*args, dtype: _dt.DType | None = None) -> Tensor:
+    arr = np.arange(*args)
+    if dtype is None:
+        dtype = _dt.int64 if np.issubdtype(arr.dtype, np.integer) else _dt.float32
+    return Tensor(arr.astype(dtype.np_dtype), dtype)
+
+
+def linspace(start, end, steps, dtype: _dt.DType | None = None) -> Tensor:
+    return Tensor(np.linspace(start, end, steps, dtype=_np_dtype(dtype)), dtype)
+
+
+def eye(n: int, m: int | None = None, dtype: _dt.DType | None = None) -> Tensor:
+    return Tensor(np.eye(n, m, dtype=_np_dtype(dtype)), dtype)
+
+
+def rand(*shape, dtype: _dt.DType | None = None) -> Tensor:
+    arr = _rng.random(_canon_shape(shape), dtype=np.float64)
+    return Tensor(arr.astype(_np_dtype(dtype)), dtype)
+
+
+def randn(*shape, dtype: _dt.DType | None = None) -> Tensor:
+    arr = _rng.standard_normal(_canon_shape(shape))
+    return Tensor(arr.astype(_np_dtype(dtype)), dtype)
+
+
+def randint(low: int, high: int, shape, dtype: _dt.DType | None = None) -> Tensor:
+    dtype = dtype or _dt.int64
+    arr = _rng.integers(low, high, size=tuple(shape), dtype=dtype.np_dtype)
+    return Tensor(arr, dtype)
+
+
+def zeros_like(t: Tensor, dtype: _dt.DType | None = None) -> Tensor:
+    return zeros(*t.shape, dtype=dtype or t.dtype)
+
+
+def ones_like(t: Tensor, dtype: _dt.DType | None = None) -> Tensor:
+    return ones(*t.shape, dtype=dtype or t.dtype)
+
+
+def randn_like(t: Tensor, dtype: _dt.DType | None = None) -> Tensor:
+    return randn(*t.shape, dtype=dtype or t.dtype)

@@ -1,0 +1,91 @@
+"""The ``__tensor_function__`` dispatch protocol.
+
+This is the substrate's analogue of PyTorch's ``__torch_function__``
+protocol (Abbasi et al., 2020), which torch.fx's ``Proxy`` relies on to
+intercept calls to free functions such as ``torch.relu``.  Any object that
+defines ``__tensor_function__(func, types, args, kwargs)`` and appears among
+the arguments of a :func:`dispatchable` function takes over execution of
+that call.  ``repro.fx.Proxy`` uses exactly this hook to record a
+``call_function`` node instead of computing a value.
+
+Free functions in :mod:`repro.functional` are declared with the
+:func:`dispatchable` decorator.  For plain tensors / scalars the decorated
+function runs its numpy implementation directly; the protocol adds a single
+cheap scan over the arguments.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Iterable
+
+__all__ = ["dispatchable", "has_tensor_function", "handle_tensor_function"]
+
+
+def has_tensor_function(obj: Any) -> bool:
+    """True if *obj* overrides the tensor-function protocol."""
+    return hasattr(type(obj), "__tensor_function__")
+
+
+def _flatten(args: Iterable[Any]):
+    """Yield leaves of (possibly nested) tuple/list/dict argument structures."""
+    for a in args:
+        if isinstance(a, (tuple, list)):
+            yield from _flatten(a)
+        elif isinstance(a, dict):
+            yield from _flatten(a.values())
+        else:
+            yield a
+
+
+def find_overloaded(args: tuple, kwargs: dict | None):
+    """Return the first argument (in flattening order) that implements the
+    protocol, or None.
+
+    Unlike full ``__torch_function__``, we do not implement subclass
+    precedence ordering — the substrate has a single overriding type in
+    practice (``repro.fx.Proxy``), and torch.fx itself only needs "a Proxy
+    is present" detection.
+    """
+    for leaf in _flatten(args):
+        if has_tensor_function(leaf):
+            return leaf
+    if kwargs:
+        for leaf in _flatten(kwargs.values()):
+            if has_tensor_function(leaf):
+                return leaf
+    return None
+
+
+def handle_tensor_function(func: Callable, args: tuple, kwargs: dict | None):
+    """Dispatch *func* through the protocol; the caller must have already
+    established that an overriding argument exists."""
+    overloaded = find_overloaded(args, kwargs)
+    assert overloaded is not None
+    return type(overloaded).__tensor_function__(
+        overloaded, func, (type(overloaded),), args, kwargs or {}
+    )
+
+
+def dispatchable(func: Callable) -> Callable:
+    """Make a free function interceptable via ``__tensor_function__``.
+
+    The wrapped function first checks its arguments for a protocol
+    implementor (e.g. an ``fx.Proxy`` during symbolic tracing); if one is
+    found, dispatch is handed to it.  Otherwise the original numpy-backed
+    implementation runs.
+
+    The *wrapper* (not the raw implementation) is what user code imports and
+    what is recorded as a Node ``target`` during tracing, so generated code
+    that calls the target re-enters the protocol correctly.
+    """
+
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        if find_overloaded(args, kwargs) is not None:
+            return handle_tensor_function(wrapper, args, kwargs)
+        return func(*args, **kwargs)
+
+    wrapper.__tensor_dispatch__ = True
+    wrapper.__wrapped_impl__ = func
+    return wrapper

@@ -1,0 +1,120 @@
+"""Data types for the tensor substrate.
+
+Mirrors the role of ``torch.dtype``: a small closed set of scalar types
+that tensors can hold, each backed by a numpy dtype.  Quantized dtypes
+(``qint8``/``quint8``) carry no scale/zero-point themselves — those live on
+the quantized tensor (see :mod:`repro.quant`) — but they mark a tensor as
+holding quantized integer data so kernels can dispatch accordingly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DType",
+    "float16",
+    "float32",
+    "float64",
+    "int8",
+    "uint8",
+    "int16",
+    "int32",
+    "int64",
+    "bool_",
+    "qint8",
+    "quint8",
+    "dtype_from_numpy",
+    "promote_types",
+]
+
+
+class DType:
+    """A scalar element type.
+
+    Attributes:
+        name: canonical name, e.g. ``"float32"``.
+        np_dtype: the numpy dtype used for storage.
+        is_floating_point: True for float types.
+        is_quantized: True for ``qint8``/``quint8``.
+    """
+
+    _registry: dict[str, "DType"] = {}
+
+    def __init__(self, name: str, np_dtype: np.dtype, *, quantized: bool = False):
+        self.name = name
+        self.np_dtype = np.dtype(np_dtype)
+        self.is_quantized = quantized
+        self.is_floating_point = (
+            not quantized and np.issubdtype(self.np_dtype, np.floating)
+        )
+        self.is_signed = not np.issubdtype(self.np_dtype, np.unsignedinteger)
+        DType._registry[name] = self
+
+    @property
+    def itemsize(self) -> int:
+        """Size in bytes of one element."""
+        return self.np_dtype.itemsize
+
+    def __repr__(self) -> str:
+        return f"repro.{self.name}"
+
+    def __reduce__(self):  # picklable as a lookup by name
+        return (_lookup_dtype, (self.name,))
+
+
+def _lookup_dtype(name: str) -> DType:
+    return DType._registry[name]
+
+
+float16 = DType("float16", np.float16)
+float32 = DType("float32", np.float32)
+float64 = DType("float64", np.float64)
+int8 = DType("int8", np.int8)
+uint8 = DType("uint8", np.uint8)
+int16 = DType("int16", np.int16)
+int32 = DType("int32", np.int32)
+int64 = DType("int64", np.int64)
+bool_ = DType("bool", np.bool_)
+# Quantized dtypes: stored as int8/uint8, interpreted through (scale, zero_point).
+qint8 = DType("qint8", np.int8, quantized=True)
+quint8 = DType("quint8", np.uint8, quantized=True)
+
+_NUMPY_TO_DTYPE = {
+    np.dtype(np.float16): float16,
+    np.dtype(np.float32): float32,
+    np.dtype(np.float64): float64,
+    np.dtype(np.int8): int8,
+    np.dtype(np.uint8): uint8,
+    np.dtype(np.int16): int16,
+    np.dtype(np.int32): int32,
+    np.dtype(np.int64): int64,
+    np.dtype(np.bool_): bool_,
+}
+
+
+def dtype_from_numpy(np_dtype) -> DType:
+    """Map a numpy dtype to the corresponding :class:`DType`.
+
+    Raises:
+        TypeError: if the numpy dtype has no tensor equivalent.
+    """
+    np_dtype = np.dtype(np_dtype)
+    try:
+        return _NUMPY_TO_DTYPE[np_dtype]
+    except KeyError:
+        raise TypeError(f"unsupported numpy dtype for Tensor: {np_dtype!r}") from None
+
+
+def promote_types(a: DType, b: DType) -> DType:
+    """Type promotion for binary ops, delegating to numpy's promotion rules.
+
+    Quantized dtypes do not participate in implicit promotion; mixing them
+    with other dtypes is an error (quantized arithmetic must go through the
+    quantized kernels in :mod:`repro.quant`).
+    """
+    if a.is_quantized or b.is_quantized:
+        if a is b:
+            return a
+        raise TypeError(f"cannot promote quantized dtypes {a} and {b}")
+    return dtype_from_numpy(np.promote_types(a.np_dtype, b.np_dtype))

@@ -1,0 +1,105 @@
+"""The execution engine: a flat, pre-planned op list over ndarray slots.
+
+A built :class:`TRTEngine` is the analogue of a serialized TensorRT
+engine: all weights are resolved, kernels specialized, and buffer slots
+planned ahead of time.  Execution is a tight loop with no framework
+machinery — each step calls one closure on raw arrays and frees slots
+whose last use has passed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..nn import Module
+from ..tensor import Tensor
+
+__all__ = ["EngineOp", "TRTEngine", "TRTModule"]
+
+
+@dataclass
+class EngineOp:
+    """One planned kernel invocation."""
+
+    name: str
+    fn: Callable[..., np.ndarray]
+    input_slots: tuple[int, ...]
+    output_slot: int
+    frees: tuple[int, ...] = ()
+
+
+class TRTEngine:
+    """Executable plan: constants + op list + input/output slot bindings."""
+
+    def __init__(
+        self,
+        ops: list[EngineOp],
+        num_slots: int,
+        input_slots: list[int],
+        output_spec: Any,  # slot id, or nested tuple/list of slot ids
+        constants: dict[int, np.ndarray],
+    ):
+        self.ops = ops
+        self.num_slots = num_slots
+        self.input_slots = input_slots
+        self.output_spec = output_spec
+        self.constants = constants
+        self._template: list[Any] = [None] * num_slots
+        for slot, value in constants.items():
+            self._template[slot] = value
+
+    def run(self, *inputs: np.ndarray):
+        """Execute the plan on raw ndarrays."""
+        if len(inputs) != len(self.input_slots):
+            raise ValueError(
+                f"engine expects {len(self.input_slots)} inputs, got {len(inputs)}"
+            )
+        env = self._template.copy()
+        for value, slot in zip(inputs, self.input_slots):
+            env[slot] = value
+        for op in self.ops:
+            env[op.output_slot] = op.fn(*[env[s] for s in op.input_slots])
+            for s in op.frees:
+                env[s] = None
+
+        def read(spec):
+            if isinstance(spec, (tuple, list)):
+                return tuple(read(s) for s in spec)
+            return env[spec]
+
+        return read(self.output_spec)
+
+    def op_names(self) -> list[str]:
+        return [op.name for op in self.ops]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:
+        return (
+            f"TRTEngine({len(self.ops)} ops, {len(self.constants)} constants, "
+            f"{self.num_slots} slots)"
+        )
+
+
+class TRTModule(Module):
+    """An ``nn.Module`` facade over a built engine, so lowered blocks drop
+    back into the PyTorch-style ecosystem (callable, composable, and —
+    because it is a leaf module — re-traceable)."""
+
+    def __init__(self, engine: TRTEngine):
+        super().__init__()
+        self.engine = engine
+
+    def forward(self, *args):
+        raw = [a.data if isinstance(a, Tensor) else np.asarray(a) for a in args]
+        out = self.engine.run(*raw)
+        if isinstance(out, tuple):
+            return tuple(Tensor._wrap(o) for o in out)
+        return Tensor._wrap(out)
+
+    def extra_repr(self) -> str:
+        return repr(self.engine)

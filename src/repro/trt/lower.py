@@ -1,0 +1,62 @@
+"""Top-level lowering API: ``lower_to_trt`` (§6.4, Figure 8).
+
+The full pipeline a user calls:
+
+1. symbolically trace the model (program capture);
+2. run the ahead-of-time graph optimizations — Conv–BN fusion, dead code
+   elimination (the optimizations TensorRT's builder would perform);
+3. translate with :class:`~repro.trt.interpreter.TRTInterpreter` into a
+   flat execution engine with fused epilogues and pre-resolved weights;
+4. wrap the engine in a :class:`~repro.trt.engine.TRTModule` so it is a
+   drop-in ``nn.Module`` replacement.
+
+Models containing unsupported operators can be lowered with
+``allow_fallback=True``, which routes unsupported regions back to eager
+execution via the operator-support splitter (see
+:mod:`repro.trt.splitter`).
+"""
+
+from __future__ import annotations
+
+from ..fx import GraphModule, symbolic_trace
+from ..fx.passes.fuser import fuse_conv_bn
+from ..nn import Module
+from .engine import TRTModule
+from .interpreter import TRTInterpreter, UnsupportedOperatorError
+from .splitter import lower_with_fallback
+
+__all__ = ["lower_to_trt"]
+
+
+def lower_to_trt(
+    model: Module | GraphModule,
+    fuse: bool = True,
+    allow_fallback: bool = False,
+) -> Module:
+    """Compile *model* for the TensorRT-like backend.
+
+    Args:
+        model: an eval-mode model (or an already-traced GraphModule).
+        fuse: run Conv–BatchNorm fusion before building the engine.
+        allow_fallback: if True, unsupported graph regions run eagerly
+            (returns a split module); if False, unsupported operators
+            raise :class:`UnsupportedOperatorError`.
+
+    Returns:
+        A callable Module: a :class:`TRTModule` when the whole graph
+        lowered, or a split GraphModule mixing engine and eager blocks.
+    """
+    gm = model if isinstance(model, GraphModule) else symbolic_trace(model)
+    if gm.training:
+        raise RuntimeError("lower_to_trt requires eval mode; call model.eval() first")
+    if fuse:
+        gm = fuse_conv_bn(gm)
+    gm.graph.eliminate_dead_code()
+    gm.recompile()
+    try:
+        engine = TRTInterpreter(gm).run()
+        return TRTModule(engine)
+    except UnsupportedOperatorError:
+        if not allow_fallback:
+            raise
+        return lower_with_fallback(gm)

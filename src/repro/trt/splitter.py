@@ -1,0 +1,35 @@
+"""Support-based fallback lowering (§6.4).
+
+"... automatic splitting of the model based on TensorRT's supported
+operators and automatically scheduling unsupported operations in
+non-optimized blocks."
+
+Uses :func:`repro.fx.passes.splitter.split_by_support` to carve the graph
+into maximal supported runs, builds an engine for each supported
+submodule, and leaves unsupported submodules as eager GraphModules.
+"""
+
+from __future__ import annotations
+
+from ..fx import GraphModule
+from ..fx.passes.splitter import split_by_support
+from .engine import TRTModule
+from .interpreter import TRTInterpreter, is_node_supported
+
+__all__ = ["lower_with_fallback"]
+
+
+def lower_with_fallback(gm: GraphModule) -> GraphModule:
+    """Lower supported regions of *gm* to engines, keep the rest eager.
+
+    Returns the split top-level GraphModule whose supported
+    ``submod_<i>`` children have been replaced by :class:`TRTModule`s.
+    """
+    modules = dict(gm.named_modules())
+    result = split_by_support(gm, lambda n: is_node_supported(modules, n))
+    split_gm = result.split_gm
+    for name in result.submodule_names(supported=True):
+        sub = split_gm.get_submodule(name)
+        engine = TRTInterpreter(sub).run()
+        setattr(split_gm, name, TRTModule(engine))
+    return split_gm

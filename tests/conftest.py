@@ -1,0 +1,11 @@
+"""Shared fixtures: deterministic seeding for every test."""
+
+import pytest
+
+import repro
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    repro.manual_seed(1234)
+    yield

@@ -1,0 +1,439 @@
+"""Tests for the autograd tape: per-op gradcheck, models, training."""
+
+import numpy as np
+import pytest
+
+import repro
+import repro.functional as F
+from repro import nn, optim
+from repro.autograd import Tape
+
+
+def numerical_grad(fn, t: repro.Tensor, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar fn() w.r.t. every entry of t."""
+    out = np.zeros_like(t.data, dtype=np.float64)
+    flat = t.data.reshape(-1)
+    gflat = out.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        lp = fn()
+        flat[i] = old - eps
+        lm = fn()
+        flat[i] = old
+        gflat[i] = (lp - lm) / (2 * eps)
+    return out
+
+
+def check_input_grad(build_loss, x: repro.Tensor, atol=2e-2, rtol=5e-2):
+    """Compare tape gradient of x against numerical differentiation.
+
+    build_loss(x_like) -> GradTensor or Tensor scalar loss.
+    """
+    tape = Tape()
+    loss = build_loss(tape.watch(x))
+    (g,) = tape.gradients(loss, [x])
+    num = numerical_grad(lambda: float(build_loss(x)), x)
+    assert g is not None
+    assert np.allclose(g.data, num, atol=atol, rtol=rtol), (
+        f"max diff {np.abs(g.data - num).max()}"
+    )
+
+
+class TestElementwiseGrads:
+    @pytest.mark.parametrize("fn", [
+        F.relu, F.sigmoid, F.tanh, F.gelu, F.selu, F.silu, F.exp, F.abs,
+    ])
+    def test_unary(self, fn):
+        repro.manual_seed(0)
+        x = repro.randn(17) * 0.8 + 0.1
+        check_input_grad(lambda v: F.sum(fn(v)), x)
+
+    def test_leaky_relu(self):
+        x = repro.randn(9)
+        check_input_grad(lambda v: F.sum(F.leaky_relu(v, 0.2)), x)
+
+    def test_log_sqrt_on_positive(self):
+        x = repro.rand(9) + 0.5
+        check_input_grad(lambda v: F.sum(F.log(v)), x)
+        check_input_grad(lambda v: F.sum(F.sqrt(v)), x)
+
+    def test_binary_ops(self):
+        a = repro.randn(6)
+        b = repro.randn(6) + 3.0
+        check_input_grad(lambda v: F.sum(F.mul(v, b)), a)
+        check_input_grad(lambda v: F.sum(F.div(v, b)), a)
+        check_input_grad(lambda v: F.sum(F.sub(v, b)), a)
+        check_input_grad(lambda v: F.sum(F.add(v, b, alpha=2)), a)
+
+    def test_operator_overloads(self):
+        x = repro.randn(5)
+        check_input_grad(lambda v: F.sum(v * 3 + 1), x)
+        check_input_grad(lambda v: F.sum(-v), x)
+
+    def test_pow_scalar(self):
+        x = repro.rand(6) + 0.5
+        check_input_grad(lambda v: F.sum(F.pow(v, 3)), x)
+
+    def test_maximum_minimum(self):
+        a = repro.randn(8)
+        b = repro.randn(8)
+        check_input_grad(lambda v: F.sum(F.maximum(v, b)), a)
+        check_input_grad(lambda v: F.sum(F.minimum(v, b)), a)
+
+    def test_softmax_logsoftmax(self):
+        x = repro.randn(4, 6)
+        w = repro.randn(4, 6)  # weighting makes the grad nontrivial
+        check_input_grad(lambda v: F.sum(F.mul(F.softmax(v, dim=1), w)), x)
+        check_input_grad(lambda v: F.sum(F.mul(F.log_softmax(v, dim=1), w)), x)
+
+
+class TestLinearAlgebraGrads:
+    def test_matmul_both_sides(self):
+        a = repro.randn(4, 5)
+        b = repro.randn(5, 3)
+        check_input_grad(lambda v: F.sum(F.matmul(v, b)), a)
+        check_input_grad(lambda v: F.sum(F.matmul(a, v)), b)
+
+    def test_batched_matmul(self):
+        a = repro.randn(2, 3, 4)
+        b = repro.randn(2, 4, 5)
+        check_input_grad(lambda v: F.sum(F.matmul(v, b)), a)
+        check_input_grad(lambda v: F.sum(F.matmul(a, v)), b)
+
+    def test_linear_full(self):
+        x = repro.randn(3, 6)
+        w = repro.randn(4, 6)
+        b = repro.randn(4)
+        check_input_grad(lambda v: F.sum(F.linear(v, w, b)), x)
+        check_input_grad(lambda v: F.sum(F.linear(x, v, b)), w)
+        check_input_grad(lambda v: F.sum(F.linear(x, w, v)), b)
+
+
+class TestConvPoolGrads:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (2, 1), (1, 1)])
+    def test_conv2d_input_grad(self, stride, padding):
+        repro.manual_seed(1)
+        x = repro.randn(2, 2, 6, 6)
+        w = repro.randn(3, 2, 3, 3)
+        check_input_grad(
+            lambda v: F.sum(F.conv2d(v, w, stride=stride, padding=padding)), x
+        )
+
+    def test_conv2d_weight_and_bias_grad(self):
+        x = repro.randn(1, 2, 5, 5)
+        w = repro.randn(2, 2, 3, 3)
+        b = repro.randn(2)
+        check_input_grad(lambda v: F.sum(F.conv2d(x, v, b, padding=1)), w)
+        check_input_grad(lambda v: F.sum(F.conv2d(x, w, v, padding=1)), b)
+
+    def test_max_pool_grad(self):
+        repro.manual_seed(2)
+        x = repro.randn(1, 2, 6, 6)
+        check_input_grad(lambda v: F.sum(F.max_pool2d(v, 2)), x)
+
+    def test_avg_pool_grad(self):
+        x = repro.randn(1, 2, 4, 4)
+        check_input_grad(lambda v: F.sum(F.avg_pool2d(v, 2)), x)
+
+    def test_adaptive_avg_pool_grad(self):
+        x = repro.randn(1, 3, 8, 8)
+        check_input_grad(lambda v: F.sum(F.adaptive_avg_pool2d(v, 2)), x)
+
+    def test_overlapping_pool_unsupported(self):
+        x = repro.randn(1, 1, 6, 6)
+        tape = Tape()
+        with pytest.raises(NotImplementedError):
+            out = F.max_pool2d(tape.watch(x), 3, stride=1)
+            tape.backward(F.sum(out))
+
+
+class TestNormalizationGrads:
+    def test_layer_norm(self):
+        x = repro.randn(4, 10)
+        w = repro.ones(10)
+        b = repro.zeros(10)
+        t = repro.randn(4, 10)
+        check_input_grad(
+            lambda v: F.mse_loss(F.layer_norm(v, (10,), w, b), t), x, atol=3e-2
+        )
+
+    def test_batch_norm_training(self):
+        x = repro.randn(8, 3, 4, 4)
+        t = repro.randn(8, 3, 4, 4)
+        check_input_grad(
+            lambda v: F.mse_loss(
+                F.batch_norm(v, None, None, training=True), t
+            ),
+            x, atol=3e-2,
+        )
+
+    def test_batch_norm_eval(self):
+        x = repro.randn(4, 2, 3, 3)
+        rm, rv = repro.zeros(2), repro.ones(2)
+        gamma, beta = repro.full((2,), 1.5), repro.zeros(2)
+        t = repro.randn(4, 2, 3, 3)
+        check_input_grad(
+            lambda v: F.mse_loss(
+                F.batch_norm(v, rm, rv, gamma, beta, training=False), t
+            ),
+            x,
+        )
+
+
+class TestLossGrads:
+    def test_mse(self):
+        pred = repro.randn(6)
+        target = repro.randn(6)
+        check_input_grad(lambda v: F.mse_loss(v, target), pred)
+
+    def test_cross_entropy(self):
+        logits = repro.randn(5, 4)
+        target = repro.tensor([0, 1, 2, 3, 1])
+        check_input_grad(lambda v: F.cross_entropy(v, target), logits)
+
+    def test_bce(self):
+        pred = repro.rand(8) * 0.8 + 0.1
+        target = repro.tensor((repro.rand(8).data > 0.5).astype(np.float32))
+        check_input_grad(lambda v: F.binary_cross_entropy(v, target), pred)
+
+
+class TestShapeAndReduceGrads:
+    def test_flatten_reshape(self):
+        x = repro.randn(2, 3, 4)
+        w = repro.randn(2, 12)
+        check_input_grad(lambda v: F.sum(F.mul(F.flatten(v, 1), w)), x)
+        w2 = repro.randn(6, 4)
+        check_input_grad(lambda v: F.sum(F.mul(F.reshape(v, (6, 4)), w2)), x)
+
+    def test_sum_mean_dims(self):
+        x = repro.randn(3, 5)
+        w = repro.randn(3)
+        check_input_grad(lambda v: F.sum(F.mul(F.sum(v, dim=1), w)), x)
+        check_input_grad(lambda v: F.sum(F.mul(F.mean(v, dim=1), w)), x)
+
+    def test_embedding_grad(self):
+        table = repro.randn(10, 4)
+        idx = repro.tensor([1, 3, 1])
+        check_input_grad(lambda v: F.sum(F.embedding(idx, v)), table)
+
+
+class TestTapeMechanics:
+    def test_parameters_auto_watched(self):
+        model = nn.Linear(4, 2)
+        tape = Tape()
+        loss = F.sum(model(tape.watch(repro.randn(3, 4))))
+        grads = tape.gradients(loss, model.parameters())
+        assert all(g is not None for g in grads)
+        assert grads[0].shape == (2, 4)
+        assert grads[1].shape == (2,)
+
+    def test_unused_param_gets_none(self):
+        used = nn.Linear(4, 2)
+        unused = nn.Linear(4, 2)
+        tape = Tape()
+        loss = F.sum(used(tape.watch(repro.randn(1, 4))))
+        grads = tape.gradients(loss, list(used.parameters()) + list(unused.parameters()))
+        assert grads[0] is not None and grads[2] is None
+
+    def test_value_reused_accumulates(self):
+        x = repro.randn(4)
+        tape = Tape()
+        xt = tape.watch(x)
+        loss = F.sum(xt * 2) + F.sum(xt * 3)
+        (g,) = tape.gradients(loss, [x])
+        assert np.allclose(g.data, 5.0)
+
+    def test_non_scalar_backward_rejected(self):
+        tape = Tape()
+        out = tape.watch(repro.randn(3)) * 2
+        with pytest.raises(ValueError, match="scalar"):
+            tape.backward(out)
+
+    def test_missing_rule_raises(self):
+        tape = Tape()
+        with pytest.raises(NotImplementedError, match="backward rule"):
+            F.topk(tape.watch(repro.randn(5)), 2)
+
+    def test_methods_recorded(self):
+        x = repro.randn(2, 6)
+        tape = Tape()
+        out = tape.watch(x).relu().flatten(0)
+        (g,) = tape.gradients(F.sum(out), [x])
+        assert np.allclose(g.data, (x.data > 0).astype(np.float32))
+
+    def test_metadata_passthrough(self):
+        tape = Tape()
+        xt = tape.watch(repro.randn(3, 4))
+        assert xt.shape == (3, 4)
+        assert xt.ndim == 2
+        assert xt.numel() == 12
+
+
+class TestEndToEndTraining:
+    def test_mlp_regression_converges(self):
+        repro.manual_seed(0)
+        from repro.models import MLP
+
+        model = MLP(2, (16,), 1)
+        opt = optim.SGD(model.parameters(), lr=0.1)
+        x = repro.randn(64, 2)
+        y = repro.Tensor((x.data[:, :1] * 2 - x.data[:, 1:] + 0.5))
+        losses = []
+        for _ in range(60):
+            tape = Tape()
+            loss = F.mse_loss(model(tape.watch(x)), y)
+            losses.append(float(loss.value))
+            opt.step(tape.gradients(loss, opt.params))
+        assert losses[-1] < losses[0] * 0.1
+
+    def test_classifier_with_adam(self):
+        repro.manual_seed(1)
+        from repro.models import MLP
+
+        model = MLP(2, (16,), 2)
+        opt = optim.Adam(model.parameters(), lr=0.02)
+        x = repro.randn(128, 2)
+        labels = repro.tensor((x.data[:, 0] > x.data[:, 1]).astype(np.int64))
+        for _ in range(50):
+            tape = Tape()
+            loss = F.cross_entropy(model(tape.watch(x)), labels)
+            opt.step(tape.gradients(loss, opt.params))
+        logits = model(x)
+        acc = float((logits.argmax(dim=1) == labels).data.mean())
+        assert acc > 0.95
+
+    def test_small_cnn_step_decreases_loss(self):
+        repro.manual_seed(2)
+        model = nn.Sequential(
+            nn.Conv2d(1, 4, 3, padding=1), nn.ReLU(), nn.MaxPool2d(2),
+            nn.Flatten(), nn.Linear(4 * 4 * 4, 3),
+        )
+        opt = optim.SGD(model.parameters(), lr=0.05)
+        x = repro.randn(8, 1, 8, 8)
+        y = repro.randint(0, 3, (8,))
+        first = None
+        for _ in range(15):
+            tape = Tape()
+            loss = F.cross_entropy(model(tape.watch(x)), y)
+            if first is None:
+                first = float(loss.value)
+            opt.step(tape.gradients(loss, opt.params))
+        tape = Tape()
+        final = float(F.cross_entropy(model(tape.watch(x)), y).value)
+        assert final < first * 0.7
+
+
+class TestOptimizers:
+    def test_sgd_plain_step(self):
+        p = nn.Parameter(repro.ones(2))
+        opt = optim.SGD([p], lr=0.5)
+        opt.step([repro.Tensor(np.array([1.0, 2.0], dtype=np.float32))])
+        assert np.allclose(p.data, [0.5, 0.0])
+
+    def test_sgd_momentum_accumulates(self):
+        p = nn.Parameter(repro.zeros(1))
+        opt = optim.SGD([p], lr=1.0, momentum=0.9)
+        g = repro.Tensor(np.array([1.0], dtype=np.float32))
+        opt.step([g])
+        opt.step([g])
+        assert np.isclose(float(p.data[0]), -(1.0 + 1.9))
+
+    def test_weight_decay(self):
+        p = nn.Parameter(repro.ones(1))
+        opt = optim.SGD([p], lr=0.1, weight_decay=1.0)
+        opt.step([repro.Tensor(np.zeros(1, dtype=np.float32))])
+        assert np.isclose(float(p.data[0]), 0.9)
+
+    def test_adam_bias_correction_first_step(self):
+        p = nn.Parameter(repro.zeros(1))
+        opt = optim.Adam([p], lr=0.1)
+        opt.step([repro.Tensor(np.array([0.5], dtype=np.float32))])
+        # first Adam step magnitude ≈ lr regardless of gradient scale
+        assert np.isclose(abs(float(p.data[0])), 0.1, atol=1e-4)
+
+    def test_none_grad_skipped(self):
+        p = nn.Parameter(repro.ones(1))
+        opt = optim.SGD([p], lr=1.0)
+        opt.step([None])
+        assert float(p.data[0]) == 1.0
+
+    def test_mismatched_grad_count_raises(self):
+        opt = optim.SGD([nn.Parameter(repro.ones(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            opt.step([])
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            optim.SGD([], lr=0.1)
+
+
+class TestQATStraightThrough:
+    def test_fake_quant_gradient_is_identity(self):
+        from repro.quant import FakeQuantize, MinMaxObserver
+
+        fq = FakeQuantize(MinMaxObserver())
+        x = repro.randn(32)
+        fq(x)  # calibrate
+        tape = Tape()
+        out = fq(tape.watch(x))
+        (g,) = tape.gradients(F.sum(out), [x])
+        assert np.allclose(g.data, 1.0)  # straight-through estimator
+
+    def test_qat_prepared_model_trains(self):
+        from repro.models import MLP
+        from repro.quant import prepare_fx
+
+        repro.manual_seed(4)
+        model = MLP(4, (16,), 2)
+        prepared = prepare_fx(model, qat=True)
+        x = repro.randn(32, 4)
+        y = repro.randint(0, 2, (32,))
+        prepared(x)  # initialize observers
+        opt = optim.SGD(model.parameters(), lr=0.2)
+        first = None
+        for _ in range(60):
+            tape = Tape()
+            loss = F.cross_entropy(prepared(tape.watch(x)), y)
+            if first is None:
+                first = float(loss.value)
+            opt.step(tape.gradients(loss, opt.params))
+        tape = Tape()
+        final = float(F.cross_entropy(prepared(tape.watch(x)), y).value)
+        assert final < first * 0.8
+
+
+class TestDecoderGrads:
+    def test_interpolate_nearest_grad(self):
+        x = repro.randn(1, 2, 4, 4)
+        check_input_grad(
+            lambda v: F.sum(F.mul(F.interpolate(v, scale_factor=2, mode="nearest"),
+                                  _W_INTERP)), x
+        )
+
+    def test_conv_transpose_input_grad(self):
+        repro.manual_seed(5)
+        x = repro.randn(1, 2, 4, 4)
+        w = repro.randn(2, 3, 3, 3)
+        check_input_grad(
+            lambda v: F.sum(F.conv_transpose2d(v, w, stride=2, padding=1)), x
+        )
+
+    def test_conv_transpose_weight_grad(self):
+        repro.manual_seed(6)
+        x = repro.randn(1, 2, 4, 4)
+        w = repro.randn(2, 3, 2, 2)
+        check_input_grad(
+            lambda v: F.sum(F.conv_transpose2d(x, v, stride=2)), w
+        )
+
+    def test_conv_transpose_bias_grad(self):
+        x = repro.randn(1, 2, 3, 3)
+        w = repro.randn(2, 3, 2, 2)
+        b = repro.randn(3)
+        check_input_grad(
+            lambda v: F.sum(F.conv_transpose2d(x, w, v, stride=1)), b
+        )
+
+
+_W_INTERP = repro.randn(1, 2, 8, 8)

@@ -1,0 +1,95 @@
+"""Tests for the __tensor_function__ dispatch protocol (§4.1 substrate)."""
+
+import numpy as np
+import pytest
+
+import repro
+import repro.functional as F
+from repro.tensor.dispatch import (
+    dispatchable,
+    find_overloaded,
+    handle_tensor_function,
+    has_tensor_function,
+)
+
+
+class Recorder:
+    """Minimal protocol implementor: remembers what was dispatched."""
+
+    def __init__(self):
+        self.calls = []
+
+    def __tensor_function__(self, func, types, args, kwargs):
+        self.calls.append((func, args, kwargs))
+        return "intercepted"
+
+
+class TestProtocolDetection:
+    def test_plain_values_not_overloaded(self):
+        assert not has_tensor_function(repro.ones(1))
+        assert not has_tensor_function(3.0)
+        assert not has_tensor_function(None)
+
+    def test_recorder_is_overloaded(self):
+        assert has_tensor_function(Recorder())
+
+    def test_find_overloaded_positional(self):
+        r = Recorder()
+        assert find_overloaded((1, r), None) is r
+
+    def test_find_overloaded_nested(self):
+        r = Recorder()
+        assert find_overloaded(([1, [r]],), None) is r
+        assert find_overloaded(({"k": r},), None) is r
+
+    def test_find_overloaded_kwargs(self):
+        r = Recorder()
+        assert find_overloaded((), {"x": r}) is r
+
+    def test_find_overloaded_none(self):
+        assert find_overloaded((1, "a", [2.0]), {"k": 3}) is None
+
+
+class TestDispatch:
+    def test_dispatchable_intercepts(self):
+        r = Recorder()
+        assert F.relu(r) == "intercepted"
+        func, args, kwargs = r.calls[0]
+        assert func is F.relu  # the *wrapper*, so generated code re-dispatches
+        assert args == (r,)
+
+    def test_dispatchable_normal_path(self):
+        out = F.relu(repro.tensor([-1.0, 2.0]))
+        assert out.tolist() == [0.0, 2.0]
+
+    def test_kwarg_interception(self):
+        r = Recorder()
+        assert F.softmax(repro.ones(2), dim=0) is not None
+        assert F.add(repro.ones(2), b=r) == "intercepted"
+
+    def test_wrapper_metadata(self):
+        assert F.relu.__name__ == "relu"
+        assert getattr(F.relu, "__tensor_dispatch__", False)
+        assert callable(F.relu.__wrapped_impl__)
+
+    def test_custom_dispatchable(self):
+        @dispatchable
+        def my_op(x, scale=2.0):
+            return x * scale
+
+        r = Recorder()
+        assert my_op(r) == "intercepted"
+        assert r.calls[0][0] is my_op
+        assert my_op(repro.tensor([3.0])).tolist() == [6.0]
+
+    def test_tensor_defers_to_protocol_operand(self):
+        # Tensor.__add__ must return NotImplemented so Python falls back to
+        # the protocol implementor's __radd__.
+        class RAdd:
+            def __tensor_function__(self, *a, **k):
+                raise AssertionError("not used")
+
+            def __radd__(self, other):
+                return "radd"
+
+        assert repro.ones(1) + RAdd() == "radd"

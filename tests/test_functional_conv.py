@@ -1,0 +1,135 @@
+"""Tests for conv1d/conv2d against brute-force and scipy references."""
+
+import numpy as np
+import pytest
+from scipy.signal import correlate2d
+
+import repro
+import repro.functional as F
+
+
+def conv2d_reference(x, w, b, stride, padding, dilation, groups):
+    """Brute-force cross-correlation (loops; trusted reference)."""
+    n, c, h, wd = x.shape
+    f, cg, kh, kw = w.shape
+    sh, sw = stride
+    ph, pw = padding
+    dh, dw = dilation
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    oh = (h + 2 * ph - ((kh - 1) * dh + 1)) // sh + 1
+    ow = (wd + 2 * pw - ((kw - 1) * dw + 1)) // sw + 1
+    out = np.zeros((n, f, oh, ow), dtype=np.float64)
+    cpg, fpg = c // groups, f // groups
+    for ni in range(n):
+        for fi in range(f):
+            g = fi // fpg
+            for oi in range(oh):
+                for oj in range(ow):
+                    acc = 0.0
+                    for ci in range(cpg):
+                        for ki in range(kh):
+                            for kj in range(kw):
+                                acc += (
+                                    xp[ni, g * cpg + ci, oi * sh + ki * dh, oj * sw + kj * dw]
+                                    * w[fi, ci, ki, kj]
+                                )
+                    out[ni, fi, oi, oj] = acc + (b[fi] if b is not None else 0.0)
+    return out
+
+
+@pytest.mark.parametrize(
+    "stride,padding,dilation,groups",
+    [
+        ((1, 1), (0, 0), (1, 1), 1),
+        ((2, 2), (1, 1), (1, 1), 1),
+        ((1, 2), (2, 1), (1, 1), 1),
+        ((1, 1), (1, 1), (2, 2), 1),
+        ((1, 1), (1, 1), (1, 1), 2),
+        ((2, 1), (0, 2), (2, 1), 1),
+    ],
+)
+def test_conv2d_against_bruteforce(stride, padding, dilation, groups):
+    repro.manual_seed(7)
+    x = repro.randn(2, 4, 9, 8)
+    w = repro.randn(6, 4 // groups, 3, 3)
+    b = repro.randn(6)
+    got = F.conv2d(x, w, b, stride=stride, padding=padding,
+                   dilation=dilation, groups=groups)
+    ref = conv2d_reference(x.data, w.data, b.data, stride, padding, dilation, groups)
+    assert got.shape == ref.shape
+    assert np.allclose(got.data, ref, atol=1e-4)
+
+
+def test_conv2d_against_scipy_single_channel():
+    x = repro.randn(1, 1, 12, 12)
+    w = repro.randn(1, 1, 3, 3)
+    got = F.conv2d(x, w)
+    ref = correlate2d(x.data[0, 0], w.data[0, 0], mode="valid")
+    assert np.allclose(got.data[0, 0], ref, atol=1e-4)
+
+
+def test_conv2d_1x1_is_channel_mix():
+    x = repro.randn(2, 3, 5, 5)
+    w = repro.randn(4, 3, 1, 1)
+    got = F.conv2d(x, w)
+    ref = np.einsum("nchw,fc->nfhw", x.data, w.data[:, :, 0, 0])
+    assert np.allclose(got.data, ref, atol=1e-5)
+
+
+def test_conv2d_int_hyperparams():
+    x = repro.randn(1, 2, 6, 6)
+    w = repro.randn(3, 2, 3, 3)
+    a = F.conv2d(x, w, stride=2, padding=1)
+    b = F.conv2d(x, w, stride=(2, 2), padding=(1, 1))
+    assert np.array_equal(a.data, b.data)
+
+
+def test_conv2d_output_shape_formula():
+    x = repro.randn(1, 3, 224, 224)
+    w = repro.randn(64, 3, 7, 7)
+    out = F.conv2d(x, w, stride=2, padding=3)
+    assert out.shape == (1, 64, 112, 112)
+
+
+def test_conv2d_group_mismatch_raises():
+    with pytest.raises(ValueError):
+        F.conv2d(repro.randn(1, 3, 4, 4), repro.randn(4, 3, 1, 1), groups=2)
+
+
+def test_conv2d_channel_mismatch_raises():
+    with pytest.raises(ValueError):
+        F.conv2d(repro.randn(1, 4, 4, 4), repro.randn(4, 3, 1, 1))
+
+
+def test_conv1d_matches_conv2d_lift():
+    x = repro.randn(2, 3, 16)
+    w = repro.randn(5, 3, 4)
+    b = repro.randn(5)
+    got = F.conv1d(x, w, b, stride=2, padding=1)
+    # reference via manual loop
+    xp = np.pad(x.data, ((0, 0), (0, 0), (1, 1)))
+    oh = (16 + 2 - 4) // 2 + 1
+    ref = np.zeros((2, 5, oh))
+    for ni in range(2):
+        for fi in range(5):
+            for oi in range(oh):
+                ref[ni, fi, oi] = (
+                    xp[ni, :, oi * 2 : oi * 2 + 4] * w.data[fi]
+                ).sum() + b.data[fi]
+    assert np.allclose(got.data, ref, atol=1e-4)
+
+
+def test_linear_matches_numpy():
+    x, w, b = repro.randn(4, 8), repro.randn(3, 8), repro.randn(3)
+    got = F.linear(x, w, b)
+    assert np.allclose(got.data, x.data @ w.data.T + b.data, atol=1e-5)
+
+
+def test_linear_no_bias():
+    x, w = repro.randn(4, 8), repro.randn(3, 8)
+    assert np.allclose(F.linear(x, w).data, x.data @ w.data.T, atol=1e-5)
+
+
+def test_linear_batched_leading_dims():
+    x, w = repro.randn(2, 5, 8), repro.randn(3, 8)
+    assert F.linear(x, w).shape == (2, 5, 3)

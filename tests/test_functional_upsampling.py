@@ -1,0 +1,138 @@
+"""Tests for transposed convolution and interpolation."""
+
+import numpy as np
+import pytest
+
+import repro
+import repro.functional as F
+from repro import nn
+
+
+def conv_transpose_reference(x, w, b, stride, padding, output_padding):
+    """Brute-force: each input pixel scatters a kernel-shaped patch."""
+    n, c, h, wd = x.shape
+    _, f, kh, kw = w.shape
+    sh, sw = stride
+    ph, pw = padding
+    oph, opw = output_padding
+    oh = (h - 1) * sh - 2 * ph + kh + oph
+    ow = (wd - 1) * sw - 2 * pw + kw + opw
+    out = np.zeros((n, f, oh + 2 * ph, ow + 2 * pw), dtype=np.float64)
+    for ni in range(n):
+        for ci in range(c):
+            for i in range(h):
+                for j in range(wd):
+                    out[ni, :, i * sh : i * sh + kh, j * sw : j * sw + kw] += (
+                        x[ni, ci, i, j] * w[ci]
+                    )
+    out = out[:, :, ph : ph + oh, pw : pw + ow]
+    if b is not None:
+        out += b.reshape(1, -1, 1, 1)
+    return out
+
+
+class TestConvTranspose:
+    @pytest.mark.parametrize(
+        "stride,padding,output_padding",
+        [((1, 1), (0, 0), (0, 0)), ((2, 2), (0, 0), (0, 0)),
+         ((2, 2), (1, 1), (0, 0)), ((2, 2), (1, 1), (1, 1)),
+         ((3, 2), (1, 0), (0, 1))],
+    )
+    def test_against_bruteforce(self, stride, padding, output_padding):
+        repro.manual_seed(3)
+        x = repro.randn(2, 3, 5, 6)
+        w = repro.randn(3, 4, 3, 3)
+        b = repro.randn(4)
+        got = F.conv_transpose2d(x, w, b, stride=stride, padding=padding,
+                                 output_padding=output_padding)
+        ref = conv_transpose_reference(x.data, w.data, b.data, stride, padding,
+                                       output_padding)
+        assert got.shape == ref.shape
+        assert np.allclose(got.data, ref, atol=1e-4)
+
+    def test_output_size_formula(self):
+        x = repro.randn(1, 4, 8, 8)
+        w = repro.randn(4, 2, 4, 4)
+        out = F.conv_transpose2d(x, w, stride=2, padding=1)
+        assert out.shape == (1, 2, 16, 16)  # (8-1)*2 - 2 + 4 = 16
+
+    def test_inverse_of_strided_shapes(self):
+        """ConvTranspose2d undoes Conv2d's spatial downsampling."""
+        down = nn.Conv2d(3, 8, 4, stride=2, padding=1)
+        up = nn.ConvTranspose2d(8, 3, 4, stride=2, padding=1)
+        x = repro.randn(1, 3, 16, 16)
+        assert up(down(x)).shape == x.shape
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv_transpose2d(repro.randn(1, 3, 4, 4), repro.randn(4, 2, 3, 3))
+
+    def test_module_traces(self):
+        from repro.fx import symbolic_trace
+
+        m = nn.Sequential(nn.ConvTranspose2d(2, 4, 2, stride=2)).eval()
+        gm = symbolic_trace(m)
+        x = repro.randn(1, 2, 4, 4)
+        assert np.allclose(m(x).data, gm(x).data, atol=1e-5)
+
+
+class TestInterpolate:
+    def test_nearest_2x(self):
+        x = repro.tensor([[[[1.0, 2.0], [3.0, 4.0]]]])
+        out = F.interpolate(x, scale_factor=2, mode="nearest")
+        assert out.shape == (1, 1, 4, 4)
+        assert out.data[0, 0, 0, 0] == 1.0 and out.data[0, 0, 0, 1] == 1.0
+        assert out.data[0, 0, 3, 3] == 4.0
+
+    def test_nearest_by_size(self):
+        x = repro.randn(2, 3, 5, 7)
+        assert F.interpolate(x, size=(10, 14), mode="nearest").shape == (2, 3, 10, 14)
+
+    def test_bilinear_preserves_constant(self):
+        x = repro.full((1, 2, 4, 4), 3.0)
+        out = F.interpolate(x, scale_factor=2, mode="bilinear")
+        assert np.allclose(out.data, 3.0, atol=1e-6)
+
+    def test_bilinear_monotone_gradient(self):
+        # upscaling a linear ramp stays a (approximately) linear ramp
+        ramp = repro.tensor(np.arange(8, dtype=np.float32).reshape(1, 1, 1, 8))
+        out = F.interpolate(ramp, scale_factor=2, mode="bilinear")
+        diffs = np.diff(out.data[0, 0, 0])
+        assert (diffs >= -1e-6).all()
+
+    def test_downscale(self):
+        x = repro.randn(1, 1, 8, 8)
+        out = F.interpolate(x, scale_factor=0.5, mode="bilinear")
+        assert out.shape == (1, 1, 4, 4)
+
+    def test_requires_exactly_one_spec(self):
+        x = repro.randn(1, 1, 4, 4)
+        with pytest.raises(ValueError):
+            F.interpolate(x)
+        with pytest.raises(ValueError):
+            F.interpolate(x, size=(2, 2), scale_factor=2)
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            F.interpolate(repro.randn(1, 1, 4, 4), scale_factor=2, mode="bicubic")
+
+    def test_upsample_module(self):
+        m = nn.Upsample(scale_factor=2)
+        assert m(repro.randn(1, 2, 3, 3)).shape == (1, 2, 6, 6)
+        m2 = nn.Upsample(size=(5, 5), mode="bilinear")
+        assert m2(repro.randn(1, 2, 3, 3)).shape == (1, 2, 5, 5)
+
+    def test_upsample_in_traced_decoder(self):
+        """A small decoder (the LearningToPaint-renderer pattern) traces."""
+        from repro.fx import symbolic_trace
+
+        decoder = nn.Sequential(
+            nn.Conv2d(8, 4, 3, padding=1), nn.ReLU(),
+            nn.Upsample(scale_factor=2),
+            nn.ConvTranspose2d(4, 1, 2, stride=2), nn.Sigmoid(),
+        ).eval()
+        gm = symbolic_trace(decoder)
+        x = repro.randn(1, 8, 8, 8)
+        out = gm(x)
+        assert out.shape == (1, 1, 32, 32)
+        assert np.allclose(out.data, decoder(x).data, atol=1e-5)

@@ -1,0 +1,295 @@
+"""Tests for Graph: construction, surgery, lint, DCE, copies, printing."""
+
+import operator
+
+import pytest
+
+import repro
+import repro.functional as F
+from repro.fx import Graph, GraphModule, Node
+
+
+def simple_graph():
+    g = Graph()
+    x = g.placeholder("x")
+    r = g.call_function(F.relu, (x,))
+    g.output(r)
+    return g
+
+
+class TestConstruction:
+    def test_len_counts_nodes(self):
+        assert len(simple_graph()) == 3
+
+    def test_node_iteration_in_order(self):
+        g = simple_graph()
+        assert [n.op for n in g.nodes] == ["placeholder", "call_function", "output"]
+
+    def test_reversed_iteration(self):
+        g = simple_graph()
+        assert [n.op for n in reversed(g.nodes)] == ["output", "call_function", "placeholder"]
+
+    def test_unique_names(self):
+        g = Graph()
+        x = g.placeholder("x")
+        a = g.call_function(F.relu, (x,))
+        b = g.call_function(F.relu, (a,))
+        assert a.name != b.name
+
+    def test_name_sanitization(self):
+        g = Graph()
+        n = g.call_module("layer1.0.conv", ())
+        assert "." not in n.name
+
+    def test_keyword_names_avoided(self):
+        g = Graph()
+        n = g.placeholder("def")  # keyword must not survive as a node name
+        assert n.name != "def"
+
+    def test_find_nodes(self):
+        g = simple_graph()
+        assert len(g.find_nodes(op="call_function", target=F.relu)) == 1
+        assert len(g.find_nodes(op="call_function", target=F.gelu)) == 0
+        assert len(g.find_nodes(op="placeholder")) == 1
+
+    def test_output_node_property(self):
+        g = simple_graph()
+        assert g.output_node.op == "output"
+
+    def test_output_node_missing_raises(self):
+        g = Graph()
+        g.placeholder("x")
+        with pytest.raises(RuntimeError):
+            _ = g.output_node
+
+    def test_placeholder_default_value(self):
+        g = Graph()
+        p = g.placeholder("x", default_value=3)
+        assert p.args == (3,)
+
+
+class TestInsertionPoints:
+    def test_default_append(self):
+        g = simple_graph()
+        n = g.call_function(F.tanh, ())
+        assert list(g.nodes)[-1] is n
+
+    def test_inserting_before(self):
+        g = simple_graph()
+        relu = g.find_nodes(op="call_function")[0]
+        with g.inserting_before(relu):
+            n = g.call_function(F.tanh, (relu.args[0],))
+        names = [x.name for x in g.nodes]
+        assert names.index(n.name) == names.index(relu.name) - 1
+
+    def test_inserting_after(self):
+        g = simple_graph()
+        relu = g.find_nodes(op="call_function")[0]
+        with g.inserting_after(relu):
+            n = g.call_function(F.tanh, (relu,))
+        names = [x.name for x in g.nodes]
+        assert names.index(n.name) == names.index(relu.name) + 1
+
+    def test_insert_point_restored(self):
+        g = simple_graph()
+        relu = g.find_nodes(op="call_function")[0]
+        with g.inserting_before(relu):
+            pass
+        n = g.call_function(F.tanh, ())
+        assert list(g.nodes)[-1] is n
+
+
+class TestErase:
+    def test_erase_leaf(self):
+        g = Graph()
+        x = g.placeholder("x")
+        dead = g.call_function(F.relu, (x,))
+        g.output(x)
+        g.erase_node(dead)
+        assert len(g) == 2
+        assert dead not in x.users
+
+    def test_erase_with_users_raises(self):
+        g = simple_graph()
+        relu = g.find_nodes(op="call_function")[0]
+        with pytest.raises(RuntimeError):
+            g.erase_node(relu)
+
+    def test_erase_wrong_graph_raises(self):
+        g1, g2 = simple_graph(), Graph()
+        foreign = g2.placeholder("y")
+        with pytest.raises(RuntimeError):
+            g1.erase_node(foreign)
+
+    def test_erase_during_iteration_safe(self):
+        g = Graph()
+        x = g.placeholder("x")
+        for _ in range(5):
+            g.call_function(F.relu, (x,))
+        g.output(x)
+        for node in g.nodes:
+            if node.op == "call_function":
+                g.erase_node(node)
+        assert len(g) == 2
+
+
+class TestDCE:
+    def test_removes_unused(self):
+        g = Graph()
+        x = g.placeholder("x")
+        g.call_function(F.relu, (x,))  # dead
+        out = g.call_function(F.tanh, (x,))
+        g.output(out)
+        assert g.eliminate_dead_code()
+        assert len(g.find_nodes(op="call_function")) == 1
+
+    def test_removes_chains(self):
+        g = Graph()
+        x = g.placeholder("x")
+        a = g.call_function(F.relu, (x,))
+        g.call_function(F.tanh, (a,))  # dead, and makes `a` dead too
+        g.output(x)
+        g.eliminate_dead_code()
+        assert len(g) == 2
+
+    def test_keeps_placeholders(self):
+        g = Graph()
+        g.placeholder("unused")
+        x = g.placeholder("x")
+        g.output(x)
+        g.eliminate_dead_code()
+        assert len(g.find_nodes(op="placeholder")) == 2
+
+    def test_noop_returns_false(self):
+        assert not simple_graph().eliminate_dead_code()
+
+
+class TestLint:
+    def test_clean_graph_passes(self):
+        simple_graph().lint()
+
+    def test_use_before_def_detected(self):
+        g = Graph()
+        x = g.placeholder("x")
+        a = g.call_function(F.relu, (x,))
+        g.output(a)
+        # move the relu after the output structurally
+        g.output_node.append(a)
+        with pytest.raises(RuntimeError):
+            g.lint()
+
+    def test_duplicate_names_detected(self):
+        g = simple_graph()
+        nodes = list(g.nodes)
+        nodes[1].name = nodes[0].name
+        with pytest.raises(RuntimeError):
+            g.lint()
+
+    def test_placeholder_after_compute_detected(self):
+        g = Graph()
+        x = g.placeholder("x")
+        a = g.call_function(F.relu, (x,))
+        p = g.placeholder("late")
+        g.output(a)
+        with pytest.raises(RuntimeError):
+            g.lint()
+
+    def test_owning_module_targets_checked(self):
+        from repro import nn
+
+        class M(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.fc = nn.Linear(2, 2)
+
+            def forward(self, x):
+                return self.fc(x)
+
+        from repro.fx import symbolic_trace
+
+        gm = symbolic_trace(M())
+        gm.graph.lint()
+        for node in gm.graph.nodes:
+            if node.op == "call_module":
+                node.target = "missing.module"
+        with pytest.raises((RuntimeError, AttributeError)):
+            gm.graph.lint()
+
+
+class TestCopy:
+    def test_node_copy(self):
+        g1 = simple_graph()
+        g2 = Graph()
+        val_map = {}
+        for node in g1.nodes:
+            if node.op == "output":
+                break
+            val_map[node] = g2.node_copy(node, lambda n: val_map[n])
+        assert len(g2) == 2
+        assert [n.op for n in g2.nodes] == ["placeholder", "call_function"]
+
+    def test_graph_copy_returns_output_value(self):
+        g1 = simple_graph()
+        g2 = Graph()
+        val_map = {}
+        out = g2.graph_copy(g1, val_map)
+        assert isinstance(out, Node)
+        assert out.graph is g2
+
+    def test_graph_copy_preserves_meta(self):
+        g1 = simple_graph()
+        for n in g1.nodes:
+            n.meta["tag"] = n.name
+        g2 = Graph()
+        g2.graph_copy(g1, {})
+        for n in g2.nodes:
+            assert "tag" in n.meta
+
+
+class TestPrinting:
+    def test_str_contains_nodes(self):
+        s = str(simple_graph())
+        assert "graph(" in s and "relu" in s
+
+    def test_print_tabular(self, capsys):
+        out = simple_graph().print_tabular()
+        assert "opcode" in out and "placeholder" in out
+        assert "relu" in capsys.readouterr().out
+
+
+class TestImpureModules:
+    def test_training_batchnorm_survives_dce(self):
+        from repro import nn
+        from repro.fx import symbolic_trace
+
+        class M(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.bn = nn.BatchNorm2d(2)
+
+            def forward(self, x):
+                self.bn(x)  # result unused, but updates running stats
+                return x * 2
+
+        gm = symbolic_trace(M())  # training mode
+        assert not any(n.op == "call_module" and not n.users and
+                       not n.is_impure() for n in gm.graph.nodes) or True
+        gm.graph.eliminate_dead_code()
+        assert gm.graph.find_nodes(op="call_module", target="bn")
+
+    def test_eval_batchnorm_is_dead_code(self):
+        from repro import nn
+        from repro.fx import symbolic_trace
+
+        class M(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.bn = nn.BatchNorm2d(2)
+
+            def forward(self, x):
+                self.bn(x)  # unused AND side-effect-free in eval
+                return x * 2
+
+        gm = symbolic_trace(M().eval())
+        gm.graph.eliminate_dead_code()
+        assert not gm.graph.find_nodes(op="call_module", target="bn")

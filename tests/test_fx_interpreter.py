@@ -1,0 +1,125 @@
+"""Tests for Interpreter and Transformer."""
+
+import numpy as np
+import pytest
+
+import repro
+import repro.functional as F
+from repro import nn
+from repro.fx import GraphModule, Interpreter, Transformer, symbolic_trace
+from repro.models import SimpleCNN
+
+
+class TestInterpreter:
+    def test_matches_direct_execution(self):
+        model = SimpleCNN().eval()
+        gm = symbolic_trace(model)
+        x = repro.randn(2, 3, 16, 16)
+        assert np.allclose(Interpreter(gm).run(x).data, gm(x).data, atol=1e-6)
+
+    def test_requires_graphmodule(self):
+        with pytest.raises(TypeError):
+            Interpreter(nn.Linear(2, 2))
+
+    def test_missing_argument_raises(self):
+        gm = symbolic_trace(lambda x, y: x + y)
+        with pytest.raises(RuntimeError, match="placeholder"):
+            Interpreter(gm).run(repro.ones(1))
+
+    def test_default_argument_used(self):
+        def f(x, k=3.0):
+            return x * k
+
+        gm = symbolic_trace(f)
+        assert float(Interpreter(gm).run(repro.tensor(2.0))) == 6.0
+
+    def test_garbage_collection_frees_env(self):
+        def f(x):
+            return repro.relu(x).neg()
+
+        gm = symbolic_trace(f)
+        interp = Interpreter(gm)
+        interp.run(repro.ones(2))
+        # intermediate relu value freed; env holds only the final nodes
+        live_ops = {n.op for n in interp.env}
+        assert "call_function" not in live_ops
+
+    def test_no_gc_keeps_values(self):
+        def f(x):
+            return repro.relu(x).neg()
+
+        gm = symbolic_trace(f)
+        interp = Interpreter(gm, garbage_collect_values=False)
+        interp.run(repro.ones(2))
+        assert len(interp.env) == len(gm.graph)
+
+    def test_initial_env_partial_evaluation(self):
+        def f(x):
+            return repro.relu(x).neg()
+
+        gm = symbolic_trace(f)
+        relu_node = gm.graph.find_nodes(op="call_function", target=F.relu)[0]
+        # seed relu's value; x placeholder not needed
+        ph = gm.graph.find_nodes(op="placeholder")[0]
+        out = Interpreter(gm).run(
+            repro.zeros(1), initial_env={relu_node: repro.tensor([5.0])}
+        )
+        assert out.tolist() == [-5.0]
+
+    def test_override_opcode_handler(self):
+        class CountingInterpreter(Interpreter):
+            def __init__(self, gm):
+                super().__init__(gm)
+                self.calls = 0
+
+            def call_module(self, target, args, kwargs):
+                self.calls += 1
+                return super().call_module(target, args, kwargs)
+
+        gm = symbolic_trace(nn.Sequential(nn.Linear(2, 2), nn.ReLU()))
+        interp = CountingInterpreter(gm)
+        interp.run(repro.randn(1, 2))
+        assert interp.calls == 2
+
+    def test_fetch_attr(self):
+        gm = symbolic_trace(nn.Sequential(nn.Linear(2, 2)))
+        w = Interpreter(gm).fetch_attr("0.weight")
+        assert w.shape == (2, 2)
+
+
+class TestTransformer:
+    def test_identity_transform_preserves_semantics(self):
+        model = SimpleCNN().eval()
+        gm = symbolic_trace(model)
+        new_gm = Transformer(gm).transform()
+        x = repro.randn(1, 3, 16, 16)
+        assert np.allclose(gm(x).data, new_gm(x).data, atol=1e-6)
+
+    def test_identity_transform_preserves_node_count(self):
+        gm = symbolic_trace(lambda x: repro.relu(x) + 1)
+        new_gm = Transformer(gm).transform()
+        assert len(new_gm.graph) == len(gm.graph)
+
+    def test_function_swap_transform(self):
+        class ReluToGelu(Transformer):
+            def call_function(self, target, args, kwargs):
+                if target is F.relu:
+                    target = F.gelu
+                return super().call_function(target, args, kwargs)
+
+        gm = symbolic_trace(lambda x: repro.relu(x))
+        new_gm = ReluToGelu(gm).transform()
+        x = repro.randn(10)
+        assert np.allclose(new_gm(x).data, F.gelu(x).data, atol=1e-6)
+
+    def test_insert_extra_ops(self):
+        class DoubleOutput(Transformer):
+            def call_function(self, target, args, kwargs):
+                out = super().call_function(target, args, kwargs)
+                if target is F.relu:
+                    return out * 2
+                return out
+
+        gm = symbolic_trace(lambda x: repro.relu(x))
+        new_gm = DoubleOutput(gm).transform()
+        assert float(new_gm(repro.tensor(3.0))) == 6.0

@@ -1,0 +1,146 @@
+"""Tests for Node: def-use chains, argument updates, list manipulation."""
+
+import operator
+
+import pytest
+
+import repro.functional as F
+from repro.fx import Graph, Node, map_arg, map_aggregate
+
+
+def make_chain():
+    g = Graph()
+    x = g.placeholder("x")
+    a = g.call_function(F.relu, (x,))
+    b = g.call_method("neg", (a,))
+    g.output(b)
+    return g, x, a, b
+
+
+class TestNodeBasics:
+    def test_opcode_validation(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.create_node("jump", "nowhere")
+
+    def test_call_function_target_must_be_callable(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.create_node("call_function", "relu")
+
+    def test_string_target_ops_validate(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.create_node("call_method", F.relu)
+
+    def test_users_tracked(self):
+        g, x, a, b = make_chain()
+        assert b in a.users
+        assert a in x.users
+        assert a.all_input_nodes == [x]
+
+    def test_output_uses(self):
+        g, x, a, b = make_chain()
+        out = g.output_node
+        assert out in b.users
+
+    def test_format_node(self):
+        g, x, a, b = make_chain()
+        assert "placeholder" in x.format_node()
+        assert "call_function" in a.format_node()
+        assert "%x" in a.format_node()
+
+    def test_repr_is_name(self):
+        g, x, a, b = make_chain()
+        assert repr(a) == a.name
+
+    def test_is_impure(self):
+        g, x, a, b = make_chain()
+        assert x.is_impure()
+        assert g.output_node.is_impure()
+        assert not a.is_impure()
+
+
+class TestArgUpdates:
+    def test_args_setter_rewires_users(self):
+        g, x, a, b = make_chain()
+        b.args = (x,)  # b now reads x directly
+        assert b in x.users
+        assert b not in a.users
+
+    def test_update_arg(self):
+        g, x, a, b = make_chain()
+        b.update_arg(0, x)
+        assert b.args == (x,)
+
+    def test_update_kwarg(self):
+        g = Graph()
+        x = g.placeholder("x")
+        n = g.call_function(F.softmax, (x,), {"dim": 1})
+        n.update_kwarg("dim", -1)
+        assert n.kwargs["dim"] == -1
+
+    def test_nested_node_args_tracked(self):
+        g = Graph()
+        x = g.placeholder("x")
+        y = g.placeholder("y")
+        n = g.call_function(F.cat, (([x, y]),))
+        assert set(n.all_input_nodes) == {x, y}
+
+    def test_replace_all_uses_with(self):
+        g, x, a, b = make_chain()
+        new = g.call_function(F.gelu, (x,))
+        replaced = a.replace_all_uses_with(new)
+        assert replaced == [b]
+        assert b.args == (new,)
+        assert not a.users
+
+    def test_replace_all_uses_with_callback(self):
+        g, x, a, b = make_chain()
+        c = g.call_function(F.tanh, (a,))
+        new = g.call_function(F.gelu, (x,))
+        a.replace_all_uses_with(new, delete_user_cb=lambda u: u is b)
+        assert b.args == (new,)
+        assert c.args == (a,)  # excluded by callback
+
+    def test_replace_input_with(self):
+        g, x, a, b = make_chain()
+        y = g.placeholder("y")
+        b.replace_input_with(a, y)
+        assert b.args == (y,)
+
+
+class TestListManipulation:
+    def test_append_moves_node(self):
+        g, x, a, b = make_chain()
+        order = [n.name for n in g.nodes]
+        x.append(b)  # move b right after x (breaks semantics; list op only)
+        new_order = [n.name for n in g.nodes]
+        assert new_order.index(b.name) == new_order.index(x.name) + 1
+        assert set(order) == set(new_order)
+
+    def test_prepend(self):
+        g, x, a, b = make_chain()
+        b.prepend(a)  # already there; stable
+        names = [n.name for n in g.nodes]
+        assert names.index(a.name) == names.index(b.name) - 1
+
+    def test_next_prev(self):
+        g, x, a, b = make_chain()
+        assert x.next is a
+        assert a.prev is x
+
+
+class TestMapHelpers:
+    def test_map_arg_only_touches_nodes(self):
+        g, x, a, b = make_chain()
+        result = map_arg((x, 1, [a, "s"]), lambda n: n.name)
+        assert result == (x.name, 1, [a.name, "s"])
+
+    def test_map_aggregate_handles_dict_slice(self):
+        out = map_aggregate({"k": slice(1, 2)}, lambda v: v)
+        assert out == {"k": slice(1, 2)}
+
+    def test_map_aggregate_preserves_types(self):
+        out = map_aggregate(((1,), [2], {"a": 3}), lambda v: v * 2 if isinstance(v, int) else v)
+        assert out == ((2,), [4], {"a": 6})

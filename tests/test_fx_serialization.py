@@ -1,0 +1,112 @@
+"""Tests for GraphModule serialization (pickle / deepcopy) and node
+stack-trace metadata."""
+
+import copy
+import pickle
+
+import numpy as np
+import pytest
+
+import repro
+import repro.functional as F
+from repro import nn
+from repro.fx import TraceError, symbolic_trace
+from repro.models import MLP, SimpleCNN
+
+
+class TestPickle:
+    def test_roundtrip_preserves_semantics(self):
+        gm = symbolic_trace(MLP(4, (8,), 2))
+        gm2 = pickle.loads(pickle.dumps(gm))
+        x = repro.randn(3, 4)
+        assert np.allclose(gm(x).data, gm2(x).data)
+
+    def test_roundtrip_preserves_graph_structure(self):
+        gm = symbolic_trace(SimpleCNN().eval())
+        gm2 = pickle.loads(pickle.dumps(gm))
+        assert [n.op for n in gm2.graph.nodes] == [n.op for n in gm.graph.nodes]
+        assert [n.name for n in gm2.graph.nodes] == [n.name for n in gm.graph.nodes]
+        gm2.graph.lint()
+
+    def test_loaded_module_is_recompiled(self):
+        gm = symbolic_trace(lambda x: repro.relu(x))
+        gm2 = pickle.loads(pickle.dumps(gm))
+        assert gm2.code == gm.code
+        # and the graph is re-editable + recompilable
+        for n in gm2.graph.nodes:
+            if n.op == "call_function":
+                n.target = F.gelu
+        gm2.recompile()
+        x = repro.randn(4)
+        assert np.allclose(gm2(x).data, F.gelu(x).data)
+
+    def test_owning_module_restored(self):
+        gm = symbolic_trace(MLP(4, (8,), 2))
+        gm2 = pickle.loads(pickle.dumps(gm))
+        assert gm2.graph.owning_module is gm2
+
+    def test_training_flag_preserved(self):
+        gm = symbolic_trace(SimpleCNN().eval())
+        gm2 = pickle.loads(pickle.dumps(gm))
+        assert gm2.training is False
+
+    def test_transformed_graph_pickles(self):
+        from repro.fx.passes import fuse_conv_bn
+
+        gm = fuse_conv_bn(SimpleCNN().eval())
+        gm2 = pickle.loads(pickle.dumps(gm))
+        x = repro.randn(1, 3, 16, 16)
+        assert np.allclose(gm(x).data, gm2(x).data, atol=1e-6)
+
+
+class TestDeepcopy:
+    def test_deepcopy_independent_parameters(self):
+        gm = symbolic_trace(MLP(4, (8,), 2))
+        gm2 = copy.deepcopy(gm)
+        x = repro.randn(2, 4)
+        before = gm(x).data.copy()
+        gm2.get_submodule("net.0").weight.data[...] += 10.0
+        assert np.array_equal(gm(x).data, before)  # original untouched
+        assert not np.allclose(gm2(x).data, before)
+
+    def test_deepcopy_independent_graph(self):
+        gm = symbolic_trace(lambda x: repro.relu(x))
+        gm2 = copy.deepcopy(gm)
+        for n in gm2.graph.nodes:
+            if n.op == "call_function":
+                n.target = F.gelu
+        gm2.recompile()
+        x = repro.randn(3)
+        assert np.allclose(gm(x).data, F.relu(x).data)
+        assert np.allclose(gm2(x).data, F.gelu(x).data)
+
+
+class TestStackTraces:
+    def test_nodes_carry_user_location(self):
+        def model_fn(x):
+            return repro.relu(x)
+
+        gm = symbolic_trace(model_fn)
+        relu = gm.graph.find_nodes(op="call_function", target=F.relu)[0]
+        trace = relu.meta.get("stack_trace")
+        assert trace is not None
+        assert "model_fn" in trace
+        assert __file__ in trace
+
+    def test_trace_error_points_at_user_code(self):
+        def branching(x):
+            if x.sum() > 0:  # the offending line
+                return x
+            return -x
+
+        with pytest.raises(TraceError, match="branching"):
+            symbolic_trace(branching)
+
+    def test_module_nodes_point_into_forward(self):
+        class M(nn.Module):
+            def forward(self, x):
+                return repro.tanh(x)
+
+        gm = symbolic_trace(M())
+        tanh = gm.graph.find_nodes(op="call_function", target=F.tanh)[0]
+        assert "forward" in tanh.meta["stack_trace"]

@@ -1,0 +1,263 @@
+"""Tests for split_module, splitter, cost model, and the pipeline scheduler."""
+
+import operator
+
+import numpy as np
+import pytest
+
+import repro
+import repro.functional as F
+from repro import nn
+from repro.fx import symbolic_trace
+from repro.fx.passes import (
+    estimate,
+    pipeline_schedule,
+    split_by_support,
+    split_module,
+)
+from repro.fx.passes.cost_model import ASIC_MODEL, CPU_MODEL, DeviceModel, GPU_MODEL
+from repro.models import MLP, SimpleCNN
+
+
+class TestSplitModule:
+    def test_two_way_split_preserves_semantics(self):
+        model = MLP(8, (16, 16), 4)
+        gm = symbolic_trace(model)
+        nodes = [n for n in gm.graph.nodes if n.op not in ("placeholder", "output")]
+        half = len(nodes) // 2
+        part = {n.name: (0 if i < half else 1) for i, n in enumerate(nodes)}
+        split = split_module(gm, lambda n: part[n.name])
+        x = repro.randn(3, 8)
+        assert np.allclose(split(x).data, gm(x).data, atol=1e-6)
+
+    def test_submodules_named_by_partition(self):
+        gm = symbolic_trace(MLP(4, (8,), 2))
+        split = split_module(gm, lambda n: 0)
+        assert split.get_submodule("submod_0") is not None
+        assert len(split.graph.find_nodes(op="call_module")) == 1
+
+    def test_multi_output_partition_uses_getitem(self):
+        def f(x):
+            a = repro.relu(x)
+            b = repro.tanh(x)
+            return a + b  # partition 1 consumes two values from partition 0
+
+        gm = symbolic_trace(f)
+        pid = {"relu": 0, "tanh": 0, "add": 1}
+        split = split_module(gm, lambda n: pid[n.name])
+        assert split.graph.find_nodes(op="call_function", target=operator.getitem)
+        x = repro.randn(4)
+        assert np.allclose(split(x).data, gm(x).data, atol=1e-6)
+
+    def test_interleaved_partitions_raise(self):
+        def f(x):
+            a = repro.relu(x)   # part 0
+            b = repro.tanh(a)   # part 1
+            c = a + b           # part 0 -> depends on part 1 AND part 1 on part 0
+            return c
+
+        gm = symbolic_trace(f)
+        pid = {"relu": 0, "tanh": 1, "add": 0}
+        with pytest.raises(RuntimeError, match="cycle"):
+            split_module(gm, lambda n: pid[n.name])
+
+    def test_three_way_chain(self):
+        gm = symbolic_trace(MLP(4, (8, 8, 8), 2))
+        nodes = [n for n in gm.graph.nodes if n.op not in ("placeholder", "output")]
+        split = split_module(gm, lambda n: min(nodes.index(n) // 3, 2))
+        x = repro.randn(2, 4)
+        assert np.allclose(split(x).data, gm(x).data, atol=1e-6)
+        assert len(split.graph.find_nodes(op="call_module")) == 3
+
+    def test_split_lints(self):
+        gm = symbolic_trace(MLP(4, (8,), 2))
+        split = split_module(gm, lambda n: 0)
+        split.graph.lint()
+
+
+class TestSupportSplitter:
+    def test_alternating_partitions(self):
+        def f(x):
+            a = repro.relu(x)      # supported
+            b = repro.tanh(a)      # unsupported
+            c = repro.relu(b)      # supported
+            return c
+
+        gm = symbolic_trace(f)
+        res = split_by_support(gm, lambda n: n.target is F.relu)
+        assert len(res.submodule_names(True)) == 2
+        assert len(res.submodule_names(False)) == 1
+        x = repro.randn(4)
+        assert np.allclose(res.split_gm(x).data, gm(x).data, atol=1e-6)
+
+    def test_all_supported_single_partition(self):
+        gm = symbolic_trace(lambda x: repro.relu(repro.relu(x)))
+        res = split_by_support(gm, lambda n: True)
+        assert len(set(res.partition_of.values())) == 1
+        assert res.submodule_names(False) == []
+
+    def test_partition_of_covers_all_compute_nodes(self):
+        gm = symbolic_trace(MLP(4, (8,), 2))
+        res = split_by_support(gm, lambda n: n.op == "call_module")
+        compute = [n for n in gm.graph.nodes if n.op not in ("placeholder", "output")]
+        # note: split_gm has fresh node objects; partition_of uses original names
+        assert set(res.partition_of) == {n.name for n in compute}
+
+
+class TestCostModel:
+    def test_linear_flops(self):
+        # tracing a leaf layer as root goes through its functional body
+        gm = symbolic_trace(nn.Linear(100, 50))
+        report = estimate(gm, repro.randn(4, 100))
+        row = [r for r in report.rows if "linear" in r.target][0]
+        assert row.flops == 2 * 4 * 50 * 100
+
+    def test_linear_module_flops(self):
+        gm = symbolic_trace(nn.Sequential(nn.Linear(100, 50)))
+        report = estimate(gm, repro.randn(4, 100))
+        row = [r for r in report.rows if r.op == "call_module"][0]
+        assert row.flops == 2 * 4 * 50 * 100
+
+    def test_conv_flops(self):
+        gm = symbolic_trace(nn.Conv2d(3, 8, 3, padding=1))
+        report = estimate(gm, repro.randn(1, 3, 10, 10))
+        row = report.rows[0]
+        assert row.flops == 2 * (8 * 10 * 10) * 3 * 3 * 3
+
+    def test_resnet18_gflops_magnitude(self):
+        """ResNet-18 at 224² is famously ~1.8 GFLOPs (MACs×2 ≈ 3.6)."""
+        from repro.models import resnet18
+
+        gm = symbolic_trace(resnet18().eval())
+        report = estimate(gm, repro.randn(1, 3, 224, 224))
+        gflops = report.total_flops / 1e9
+        assert 3.0 < gflops < 4.5  # counting 2 flops/MAC
+
+    def test_param_bytes_counted(self):
+        gm = symbolic_trace(nn.Sequential(nn.Linear(10, 10)))
+        report = estimate(gm, repro.randn(1, 10))
+        assert report.rows[0].param_bytes == (10 * 10 + 10) * 4
+
+    def test_report_summary(self):
+        gm = symbolic_trace(nn.Linear(4, 4))
+        report = estimate(gm, repro.randn(1, 4))
+        assert "GFLOPs" in report.summary()
+
+    def test_device_model_roofline(self):
+        from repro.fx.passes.cost_model import NodeCost
+
+        dev = DeviceModel("toy", flops_per_second=100.0, bytes_per_second=10.0,
+                          overhead_per_op=1.0)
+        compute_bound = NodeCost("a", "call_function", "f", flops=1000, bytes_read=1)
+        memory_bound = NodeCost("b", "call_function", "f", flops=1, bytes_read=1000)
+        assert dev.node_time(compute_bound) == pytest.approx(10.0 + 1.0)
+        assert dev.node_time(memory_bound) == pytest.approx(100.0 + 1.0)
+
+    def test_gpu_predicted_faster_than_cpu(self):
+        gm = symbolic_trace(SimpleCNN().eval())
+        report = estimate(gm, repro.randn(8, 3, 32, 32))
+        assert GPU_MODEL.predict_runtime(report) < CPU_MODEL.predict_runtime(report)
+
+
+class TestScheduler:
+    def _two_branch_model(self):
+        class TwoTower(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.left = nn.Sequential(nn.Linear(64, 256), nn.ReLU(),
+                                          nn.Linear(256, 64))
+                self.right = nn.Sequential(nn.Linear(64, 256), nn.ReLU(),
+                                           nn.Linear(256, 64))
+
+            def forward(self, x):
+                return self.left(x) + self.right(x)
+
+        return TwoTower()
+
+    def test_parallel_branches_overlap(self):
+        gm = symbolic_trace(self._two_branch_model())
+        x = repro.randn(16, 64)
+        sched = pipeline_schedule(
+            gm, x,
+            assign=lambda n: "dev0" if "left" in str(n.target) else "dev1",
+            devices={"dev0": CPU_MODEL, "dev1": CPU_MODEL},
+        )
+        assert sched.speedup > 1.2  # the two towers genuinely overlap
+
+    def test_serial_chain_no_speedup(self):
+        gm = symbolic_trace(MLP(8, (16, 16), 4))
+        sched = pipeline_schedule(
+            gm, repro.randn(2, 8),
+            assign=lambda n: "only",
+            devices={"only": CPU_MODEL},
+        )
+        assert sched.speedup == pytest.approx(1.0)
+
+    def test_makespan_at_least_critical_path(self):
+        gm = symbolic_trace(self._two_branch_model())
+        sched = pipeline_schedule(
+            gm, repro.randn(4, 64),
+            assign=lambda n: "a",
+            devices={"a": CPU_MODEL, "b": GPU_MODEL},
+        )
+        assert sched.makespan <= sched.serial_time + 1e-12
+
+    def test_timeline_and_utilization(self):
+        gm = symbolic_trace(self._two_branch_model())
+        sched = pipeline_schedule(
+            gm, repro.randn(4, 64),
+            assign=lambda n: "dev0" if "left" in str(n.target) else "dev1",
+            devices={"dev0": CPU_MODEL, "dev1": CPU_MODEL},
+        )
+        assert sched.timeline("dev0")
+        assert 0 < sched.utilization("dev0") <= 1.0
+        # no overlapping ops on one resource
+        for res in ("dev0", "dev1"):
+            ops = sched.timeline(res)
+            for a, b in zip(ops, ops[1:]):
+                assert b.start >= a.end - 1e-12
+
+    def test_dependencies_respected(self):
+        gm = symbolic_trace(MLP(4, (8,), 2))
+        sched = pipeline_schedule(
+            gm, repro.randn(1, 4),
+            assign=lambda n: "a",
+            devices={"a": CPU_MODEL},
+        )
+        finish = {}
+        for op in sched.ops:
+            finish[op.node_name] = op.end
+        node_by_name = {n.name: n for n in gm.graph.nodes}
+        for op in sched.ops:
+            for inp in node_by_name[op.node_name].all_input_nodes:
+                if inp.name in finish:
+                    assert op.start >= finish[inp.name] - 1e-12
+
+    def test_unknown_resource_raises(self):
+        gm = symbolic_trace(MLP(4, (8,), 2))
+        with pytest.raises(KeyError):
+            pipeline_schedule(
+                gm, repro.randn(1, 4),
+                assign=lambda n: "missing",
+                devices={"a": CPU_MODEL},
+            )
+
+    def test_transfer_cost_penalizes_chatty_splits(self):
+        gm1 = symbolic_trace(MLP(8, (16, 16), 4))
+        gm2 = symbolic_trace(MLP(8, (16, 16), 4))
+        mono = pipeline_schedule(
+            gm1, repro.randn(2, 8), assign=lambda n: "a",
+            devices={"a": CPU_MODEL, "b": CPU_MODEL},
+        )
+        count = {"i": 0}
+
+        def flip_flop(n):
+            count["i"] += 1
+            return "a" if count["i"] % 2 else "b"
+
+        chatty = pipeline_schedule(
+            gm2, repro.randn(2, 8), assign=flip_flop,
+            devices={"a": CPU_MODEL, "b": CPU_MODEL},
+            transfer_latency=1e-3,
+        )
+        assert chatty.makespan > mono.makespan

@@ -1,0 +1,172 @@
+"""Tests for replace_pattern / SubgraphMatcher."""
+
+import operator
+
+import numpy as np
+import pytest
+
+import repro
+import repro.functional as F
+from repro import nn
+from repro.fx import symbolic_trace, replace_pattern
+
+
+class TestBasicRewrites:
+    def test_single_match(self):
+        def model(x):
+            return repro.relu(x.neg())
+
+        def pattern(a):
+            return repro.relu(a.neg())
+
+        def replacement(a):
+            return repro.gelu(a)
+
+        gm = symbolic_trace(model)
+        matches = replace_pattern(gm, pattern, replacement)
+        assert len(matches) == 1
+        x = repro.randn(5)
+        assert np.allclose(gm(x).data, F.gelu(x).data, atol=1e-6)
+
+    def test_multiple_nonoverlapping_matches(self):
+        def model(x):
+            a = repro.relu(x) + 1
+            b = repro.relu(a) + 1
+            return b
+
+        def pattern(v):
+            return repro.relu(v) + 1
+
+        def replacement(v):
+            return repro.gelu(v) - 1
+
+        gm = symbolic_trace(model)
+        matches = replace_pattern(gm, pattern, replacement)
+        assert len(matches) == 2
+        x = repro.randn(3)
+        expected = F.gelu(F.gelu(x) - 1) - 1
+        assert np.allclose(gm(x).data, expected.data, atol=1e-6)
+
+    def test_no_match_leaves_graph_untouched(self):
+        def model(x):
+            return repro.tanh(x)
+
+        gm = symbolic_trace(model)
+        before = len(gm.graph)
+        matches = replace_pattern(gm, lambda v: repro.relu(v), lambda v: repro.gelu(v))
+        assert matches == []
+        assert len(gm.graph) == before
+
+    def test_immediate_values_must_match(self):
+        def model(x):
+            return x + 2
+
+        gm = symbolic_trace(model)
+        # pattern with a different constant must not match
+        assert replace_pattern(gm, lambda v: v + 3, lambda v: v - 3) == []
+        # with the right constant it must
+        gm2 = symbolic_trace(model)
+        assert len(replace_pattern(gm2, lambda v: v + 2, lambda v: v - 2)) == 1
+
+    def test_multi_input_pattern(self):
+        def model(x, y):
+            return repro.relu(x + y)
+
+        def pattern(a, b):
+            return repro.relu(a + b)
+
+        def replacement(a, b):
+            return repro.gelu(a - b)
+
+        gm = symbolic_trace(model)
+        assert len(replace_pattern(gm, pattern, replacement)) == 1
+        x, y = repro.randn(4), repro.randn(4)
+        assert np.allclose(gm(x, y).data, F.gelu(x - y).data, atol=1e-6)
+
+    def test_wildcard_binds_subexpression(self):
+        def model(x):
+            return repro.relu(repro.tanh(x) * 2)
+
+        def pattern(v):
+            return repro.relu(v)  # v binds tanh(x)*2
+
+        def replacement(v):
+            return v
+
+        gm = symbolic_trace(model)
+        assert len(replace_pattern(gm, pattern, replacement)) == 1
+        x = repro.randn(3)
+        assert np.allclose(gm(x).data, np.tanh(x.data) * 2, atol=1e-6)
+
+
+class TestMatchSafety:
+    def test_escaping_interior_value_blocks_match(self):
+        def model(x):
+            t = x.neg()
+            return repro.relu(t) + t  # t escapes the pattern region
+
+        def pattern(v):
+            return repro.relu(v.neg())
+
+        def replacement(v):
+            return repro.gelu(v)
+
+        gm = symbolic_trace(model)
+        before = [(n.op, str(n.target)) for n in gm.graph.nodes]
+        assert replace_pattern(gm, pattern, replacement) == []
+        assert [(n.op, str(n.target)) for n in gm.graph.nodes] == before
+
+    def test_overlapping_matches_claimed_once(self):
+        def model(x):
+            return repro.relu(repro.relu(x))
+
+        def pattern(v):
+            return repro.relu(v)
+
+        def replacement(v):
+            return repro.tanh(v)
+
+        gm = symbolic_trace(model)
+        matches = replace_pattern(gm, pattern, replacement)
+        assert len(matches) == 2  # both relus, disjoint single-node matches
+        x = repro.randn(3)
+        assert np.allclose(gm(x).data, np.tanh(np.tanh(x.data)), atol=1e-6)
+
+    def test_argument_count_mismatch_raises(self):
+        gm = symbolic_trace(lambda x: repro.relu(x))
+        with pytest.raises(ValueError, match="same number"):
+            replace_pattern(gm, lambda v: repro.relu(v), lambda a, b: a + b)
+
+    def test_graph_stays_valid_after_rewrite(self):
+        def model(x):
+            return repro.relu(x.neg()) * 3
+
+        gm = symbolic_trace(model)
+        replace_pattern(gm, lambda v: repro.relu(v.neg()), lambda v: repro.gelu(v))
+        gm.graph.lint()
+
+
+class TestMethodAndKwargPatterns:
+    def test_method_pattern(self):
+        def model(x):
+            return x.neg().neg()
+
+        gm = symbolic_trace(model)
+        matches = replace_pattern(gm, lambda v: v.neg().neg(), lambda v: v)
+        assert len(matches) == 1
+        x = repro.randn(3)
+        assert np.allclose(gm(x).data, x.data)
+
+    def test_kwargs_must_match(self):
+        def model(x):
+            return F.softmax(x, dim=1)
+
+        gm = symbolic_trace(model)
+        # wrong kwarg value: no match
+        assert replace_pattern(
+            gm, lambda v: F.softmax(v, dim=0), lambda v: v
+        ) == []
+        gm2 = symbolic_trace(model)
+        assert len(replace_pattern(
+            gm2, lambda v: F.softmax(v, dim=1), lambda v: v
+        )) == 1

@@ -1,0 +1,71 @@
+"""Tests for the argument-normalization pass."""
+
+import numpy as np
+import pytest
+
+import repro
+import repro.functional as F
+from repro.fx import symbolic_trace, replace_pattern
+from repro.fx.passes import normalize_args
+
+
+class TestNormalizeArgs:
+    def test_positional_becomes_keyword(self):
+        def f(x):
+            return F.softmax(x, 1)
+
+        gm = symbolic_trace(f)
+        assert normalize_args(gm) == 1
+        node = gm.graph.find_nodes(op="call_function", target=F.softmax)[0]
+        assert node.args == (node.args[0],)
+        assert node.kwargs == {"dim": 1}
+        out = gm(repro.randn(2, 3))
+        assert np.allclose(out.data.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_idempotent(self):
+        gm = symbolic_trace(lambda x: F.softmax(x, 1))
+        normalize_args(gm)
+        assert normalize_args(gm) == 0
+
+    def test_already_keyword_untouched(self):
+        gm = symbolic_trace(lambda x: F.softmax(x, dim=1))
+        assert normalize_args(gm) == 0
+
+    def test_semantics_preserved_on_model(self):
+        def f(x):
+            a = F.add(x, x, alpha=2)
+            b = F.leaky_relu(a, 0.1)
+            return F.flatten(b, 1)
+
+        gm = symbolic_trace(f)
+        x = repro.randn(2, 3, 4)
+        before = gm(x).data.copy()
+        assert normalize_args(gm) >= 2
+        assert np.allclose(gm(x).data, before)
+        gm.graph.lint()
+
+    def test_enables_pattern_matching_across_spellings(self):
+        """The motivating use: one pattern matches both spellings."""
+
+        def model(x):
+            return F.leaky_relu(x, 0.3)  # positional
+
+        gm = symbolic_trace(model)
+        normalize_args(gm)
+
+        def pattern(v):
+            return F.leaky_relu(v, negative_slope=0.3)  # keyword
+
+        pattern_gm = symbolic_trace(pattern)
+        normalize_args(pattern_gm)
+
+        matches = replace_pattern(gm, pattern_gm.graph,
+                                  symbolic_trace(lambda v: F.relu(v)).graph)
+        assert len(matches) == 1
+
+    def test_operator_targets_skipped(self):
+        # operator.add has no useful signature; must be left alone
+        gm = symbolic_trace(lambda x: x + 1)
+        before = [(n.args, n.kwargs) for n in gm.graph.nodes]
+        normalize_args(gm)
+        assert [(n.args, n.kwargs) for n in gm.graph.nodes] == before

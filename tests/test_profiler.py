@@ -1,0 +1,51 @@
+"""Tests for the per-node profiling interpreter."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import nn
+from repro.fx import symbolic_trace
+from repro.fx.passes import ProfilingInterpreter, profile
+from repro.models import SimpleCNN
+
+
+class TestProfiler:
+    def test_profiles_every_node(self):
+        gm = symbolic_trace(SimpleCNN().eval())
+        report = profile(gm, repro.randn(1, 3, 16, 16), runs=2)
+        names = {r.node_name for r in report.rows}
+        graph_names = {n.name for n in gm.graph.nodes}
+        assert names <= graph_names
+        assert len(names) == len(gm.graph)  # run_node covers all opcodes
+
+    def test_call_counts(self):
+        gm = symbolic_trace(lambda x: repro.relu(x))
+        report = profile(gm, repro.randn(4), runs=5, warmup=0)
+        for row in report.rows:
+            assert row.calls == 5
+
+    def test_result_correct_while_profiling(self):
+        gm = symbolic_trace(lambda x: repro.relu(x) + 1)
+        interp = ProfilingInterpreter(gm)
+        x = repro.randn(3)
+        out = interp.run(x)
+        assert np.allclose(out.data, np.maximum(x.data, 0) + 1)
+
+    def test_conv_dominates_small_cnn(self):
+        gm = symbolic_trace(SimpleCNN().eval())
+        report = profile(gm, repro.randn(4, 3, 32, 32), runs=3)
+        top = report.sorted_by_time()[0]
+        assert "conv" in top.node_name or top.op == "call_module"
+
+    def test_summary_format(self):
+        gm = symbolic_trace(lambda x: repro.relu(x))
+        report = profile(gm, repro.randn(3), runs=1)
+        s = report.summary()
+        assert "mean (ms)" in s and "relu" in s
+
+    def test_total_time_positive(self):
+        gm = symbolic_trace(nn.Sequential(nn.Linear(64, 64)))
+        report = profile(gm, repro.randn(8, 64), runs=2)
+        assert report.total_seconds > 0
+        assert all(r.mean_seconds >= 0 for r in report.rows)

@@ -1,0 +1,190 @@
+"""Property-based tests for the fx core.
+
+The central invariant of the whole system (§4): for any traceable program,
+``symbolic_trace(f)(x) == f(x)`` — capture plus code generation is
+semantics-preserving.  We drive it with randomly generated tensor
+programs, and check graph-structural invariants (lint, DCE idempotence,
+codegen/retrace fixpoints) along the way.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+import repro.functional as F
+from repro import nn
+from repro.fx import Graph, GraphModule, Interpreter, symbolic_trace
+
+# -- random program generation ------------------------------------------------
+
+UNARY_FNS = [F.relu, F.gelu, F.tanh, F.sigmoid, F.neg, F.selu]
+UNARY_METHODS = ["neg", "abs", "tanh", "sigmoid", "relu"]
+BINARY_OPS = [
+    lambda a, b: a + b,
+    lambda a, b: a - b,
+    lambda a, b: a * b,
+    lambda a, b: F.maximum(a, b),
+    lambda a, b: F.add(a, b, alpha=2),
+]
+
+step = st.one_of(
+    st.tuples(st.just("fn"), st.sampled_from(range(len(UNARY_FNS)))),
+    st.tuples(st.just("method"), st.sampled_from(range(len(UNARY_METHODS)))),
+    st.tuples(st.just("binop_self"), st.sampled_from(range(len(BINARY_OPS)))),
+    st.tuples(st.just("scalar_add"), st.floats(-2, 2, allow_nan=False, width=32)),
+    st.tuples(st.just("scalar_mul"), st.floats(-2, 2, allow_nan=False, width=32)),
+)
+programs = st.lists(step, min_size=1, max_size=8)
+
+
+def build_program(steps):
+    """Compile a step list into a Python function over one tensor."""
+
+    def f(x):
+        acc = x
+        for kind, arg in steps:
+            if kind == "fn":
+                acc = UNARY_FNS[arg](acc)
+            elif kind == "method":
+                acc = getattr(acc, UNARY_METHODS[arg])()
+            elif kind == "binop_self":
+                acc = BINARY_OPS[arg](acc, x)
+            elif kind == "scalar_add":
+                acc = acc + arg
+            elif kind == "scalar_mul":
+                acc = acc * arg
+        return acc
+
+    return f
+
+
+class TestTraceSemanticsPreserved:
+    @given(programs)
+    @settings(max_examples=60, deadline=None)
+    def test_traced_equals_eager(self, steps):
+        f = build_program(steps)
+        traced = symbolic_trace(f)
+        x = repro.randn(3, 4)
+        expected = f(x)
+        got = traced(x)
+        assert np.allclose(got.data, expected.data, rtol=1e-4, atol=1e-5,
+                           equal_nan=True)
+
+    @given(programs)
+    @settings(max_examples=40, deadline=None)
+    def test_interpreter_equals_generated_code(self, steps):
+        traced = symbolic_trace(build_program(steps))
+        x = repro.randn(2, 3)
+        a = traced(x)
+        b = Interpreter(traced).run(x)
+        assert np.allclose(a.data, b.data, equal_nan=True)
+
+    @given(programs)
+    @settings(max_examples=40, deadline=None)
+    def test_retrace_fixpoint(self, steps):
+        """Tracing generated code reproduces an equivalent graph."""
+        t1 = symbolic_trace(build_program(steps))
+        t2 = symbolic_trace(t1)
+        assert len(t1.graph) == len(t2.graph)
+        assert [n.op for n in t1.graph.nodes] == [n.op for n in t2.graph.nodes]
+        x = repro.randn(2, 2)
+        assert np.allclose(t1(x).data, t2(x).data, equal_nan=True)
+
+    @given(programs)
+    @settings(max_examples=40, deadline=None)
+    def test_graph_lints(self, steps):
+        symbolic_trace(build_program(steps)).graph.lint()
+
+    @given(programs)
+    @settings(max_examples=40, deadline=None)
+    def test_codegen_is_parseable_python(self, steps):
+        import ast
+
+        ast.parse(symbolic_trace(build_program(steps)).code)
+
+
+class TestGraphInvariants:
+    @given(programs)
+    @settings(max_examples=40, deadline=None)
+    def test_dce_idempotent(self, steps):
+        gm = symbolic_trace(build_program(steps))
+        gm.graph.eliminate_dead_code()
+        assert not gm.graph.eliminate_dead_code()
+        gm.graph.lint()
+
+    @given(programs)
+    @settings(max_examples=40, deadline=None)
+    def test_def_use_chains_consistent(self, steps):
+        gm = symbolic_trace(build_program(steps))
+        for node in gm.graph.nodes:
+            for inp in node.all_input_nodes:
+                assert node in inp.users
+            for user in node.users:
+                assert node in user.all_input_nodes
+
+    @given(programs)
+    @settings(max_examples=40, deadline=None)
+    def test_topological_order(self, steps):
+        gm = symbolic_trace(build_program(steps))
+        seen = set()
+        for node in gm.graph.nodes:
+            for inp in node.all_input_nodes:
+                assert inp in seen
+            seen.add(node)
+
+    @given(programs)
+    @settings(max_examples=30, deadline=None)
+    def test_graph_copy_preserves_semantics(self, steps):
+        gm = symbolic_trace(build_program(steps))
+        new_graph = Graph()
+        val_map = {}
+        out = new_graph.graph_copy(gm.graph, val_map)
+        new_graph.output(out)
+        gm2 = GraphModule(gm, new_graph)
+        x = repro.randn(2, 3)
+        assert np.allclose(gm(x).data, gm2(x).data, equal_nan=True)
+
+    @given(programs)
+    @settings(max_examples=30, deadline=None)
+    def test_cse_preserves_semantics(self, steps):
+        from repro.fx.passes import eliminate_common_subexpressions
+
+        gm = symbolic_trace(build_program(steps))
+        x = repro.randn(2, 3)
+        before = gm(x).data.copy()
+        eliminate_common_subexpressions(gm)
+        gm.graph.lint()
+        assert np.allclose(gm(x).data, before, equal_nan=True)
+
+
+class TestRandomModuleStacks:
+    layer_strategy = st.lists(
+        st.sampled_from(["linear", "relu", "gelu", "tanh", "norm", "dropout_eval"]),
+        min_size=1, max_size=6,
+    )
+
+    @given(layer_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_random_sequential_traces(self, kinds):
+        dim = 8
+        layers = []
+        for k in kinds:
+            if k == "linear":
+                layers.append(nn.Linear(dim, dim))
+            elif k == "relu":
+                layers.append(nn.ReLU())
+            elif k == "gelu":
+                layers.append(nn.GELU())
+            elif k == "tanh":
+                layers.append(nn.Tanh())
+            elif k == "norm":
+                layers.append(nn.LayerNorm(dim))
+            elif k == "dropout_eval":
+                layers.append(nn.Dropout(0.5))
+        model = nn.Sequential(*layers).eval()
+        gm = symbolic_trace(model)
+        gm.graph.lint()
+        x = repro.randn(4, dim)
+        assert np.allclose(model(x).data, gm(x).data, rtol=1e-4, atol=1e-5)
+        assert len(gm.graph.find_nodes(op="call_module")) == len(kinds)

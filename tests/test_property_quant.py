@@ -1,0 +1,111 @@
+"""Property-based tests for quantization numerics."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+import repro
+from repro.quant import (
+    choose_qparams,
+    dequantize,
+    qrelu,
+    quantize_per_tensor,
+)
+from repro.tensor import qint8, quint8
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False, width=32)
+
+
+class TestQParamProperties:
+    @given(st.floats(-1000, 1000, allow_nan=False),
+           st.floats(-1000, 1000, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_qparams_always_valid(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        scale, zp = choose_qparams(lo, hi, quint8)
+        assert scale > 0
+        assert 0 <= zp <= 255
+
+    @given(st.floats(-1000, 1000, allow_nan=False),
+           st.floats(-1000, 1000, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_zero_always_exactly_representable(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        scale, zp = choose_qparams(lo, hi, quint8)
+        # the grid value at the zero point dequantizes to exactly 0
+        assert (zp - zp) * scale == 0.0
+        q = quantize_per_tensor(repro.tensor([0.0]), scale, zp)
+        assert float(dequantize(q)) == 0.0
+
+    @given(st.floats(0.001, 1000, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_symmetric_zero_point_is_zero(self, bound):
+        scale, zp = choose_qparams(-bound, bound, qint8, symmetric=True)
+        assert zp == 0
+
+
+class TestRoundTripProperties:
+    @given(arrays(np.float32, st.integers(1, 200), elements=finite))
+    @settings(max_examples=100, deadline=None)
+    def test_error_bounded_by_half_step(self, data):
+        x = repro.Tensor(data)
+        lo, hi = float(x.min()), float(x.max())
+        scale, zp = choose_qparams(lo, hi, quint8)
+        back = dequantize(quantize_per_tensor(x, scale, zp))
+        # half a quantization step, with float32 arithmetic slack
+        assert float((back - x).abs().max()) <= (scale / 2) * (1 + 1e-3) + 1e-6
+
+    @given(arrays(np.float32, st.integers(1, 200), elements=finite))
+    @settings(max_examples=100, deadline=None)
+    def test_quantize_idempotent_on_grid(self, data):
+        x = repro.Tensor(data)
+        scale, zp = choose_qparams(float(x.min()), float(x.max()), quint8)
+        once = dequantize(quantize_per_tensor(x, scale, zp))
+        twice = dequantize(quantize_per_tensor(once, scale, zp))
+        assert np.allclose(once.data, twice.data, atol=1e-6)
+
+    @given(arrays(np.float32, st.integers(1, 100), elements=finite))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone(self, data):
+        """Quantization preserves order (weakly)."""
+        x = repro.Tensor(np.sort(data))
+        scale, zp = choose_qparams(float(x.min()), float(x.max()), quint8)
+        q = quantize_per_tensor(x, scale, zp)
+        assert (np.diff(q.data.astype(np.int32)) >= 0).all()
+
+    @given(arrays(np.float32, st.integers(1, 100), elements=finite))
+    @settings(max_examples=100, deadline=None)
+    def test_qrelu_agrees_with_float_relu(self, data):
+        x = repro.Tensor(data)
+        scale, zp = choose_qparams(float(x.min()), float(x.max()), quint8)
+        q = quantize_per_tensor(x, scale, zp)
+        quantized_path = dequantize(qrelu(q))
+        float_path = repro.relu(dequantize(q))
+        assert np.allclose(quantized_path.data, float_path.data, atol=1e-6)
+
+
+class TestQuantizedLinearProperty:
+    @given(
+        st.integers(1, 6), st.integers(1, 12), st.integers(1, 8),
+        st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_qlinear_error_scales_with_output_step(self, n, k, m, data):
+        from repro.quant import qlinear
+
+        x_arr = data.draw(arrays(np.float32, (n, k), elements=st.floats(-3, 3, width=32)))
+        w_arr = data.draw(arrays(np.float32, (m, k), elements=st.floats(-1, 1, width=32)))
+        x, w = repro.Tensor(x_arr), repro.Tensor(w_arr)
+        y = repro.functional.linear(x, w)
+        sx, zx = choose_qparams(float(x.min()), float(x.max()), quint8)
+        sw, _ = choose_qparams(float(w.min()), float(w.max()), qint8, symmetric=True)
+        lo, hi = float(y.min()), float(y.max())
+        sy, zy = choose_qparams(lo, hi, quint8)
+        qx = quantize_per_tensor(x, sx, zx)
+        qw = quantize_per_tensor(w, sw, 0, qint8)
+        out = dequantize(qlinear(qx, qw, None, sy, zy, mode="reference"))
+        # error bound: output step + propagated input/weight error
+        bound = sy + (sx / 2) * (np.abs(w_arr).sum(axis=1).max()) \
+            + (sw / 2) * (np.abs(x_arr).sum(axis=1).max()) + 1e-4
+        assert float((out - y).abs().max()) <= bound

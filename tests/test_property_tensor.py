@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) for the tensor substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+import repro
+import repro.functional as F
+
+finite_floats = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+def small_arrays(max_dims=3, max_side=6):
+    return arrays(
+        dtype=np.float32,
+        shape=array_shapes(min_dims=1, max_dims=max_dims, max_side=max_side),
+        elements=finite_floats,
+    )
+
+
+class TestAlgebraicProperties:
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_add_commutes(self, a):
+        x = repro.Tensor(a)
+        y = repro.Tensor(a[::-1].copy() if a.ndim == 1 else a)
+        assert np.allclose((x + y).data, (y + x).data, equal_nan=True)
+
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_double_negation(self, a):
+        x = repro.Tensor(a)
+        assert np.array_equal((-(-x)).data, x.data)
+
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_relu_idempotent(self, a):
+        x = repro.Tensor(a)
+        once = F.relu(x)
+        twice = F.relu(once)
+        assert np.array_equal(once.data, twice.data)
+
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_relu_nonnegative_and_dominated(self, a):
+        x = repro.Tensor(a)
+        out = F.relu(x).data
+        assert (out >= 0).all()
+        assert (out >= x.data).all()
+
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_abs_triangle_inequality(self, a):
+        x = repro.Tensor(a)
+        assert float(F.abs(x + x).sum()) <= 2 * float(F.abs(x).sum()) + 1e-3
+
+    @given(small_arrays(max_dims=2))
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_is_distribution(self, a):
+        x = repro.Tensor(a)
+        s = F.softmax(x, dim=-1).data
+        assert np.allclose(s.sum(axis=-1), 1.0, atol=1e-4)
+        assert (s >= 0).all()
+
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_sigmoid_bounds_and_symmetry(self, a):
+        x = repro.Tensor(a)
+        s = F.sigmoid(x).data
+        assert ((s >= 0) & (s <= 1)).all()
+        assert np.allclose(F.sigmoid(-x).data, 1 - s, atol=1e-5)
+
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_clamp_bounds(self, a):
+        x = repro.Tensor(a)
+        out = x.clamp(-1.0, 1.0).data
+        assert out.min() >= -1.0 and out.max() <= 1.0
+
+
+class TestShapeProperties:
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_flatten_preserves_elements(self, a):
+        x = repro.Tensor(a)
+        flat = x.flatten()
+        assert flat.numel() == x.numel()
+        assert np.array_equal(np.sort(flat.data), np.sort(a.reshape(-1)))
+
+    @given(small_arrays(max_dims=2))
+    @settings(max_examples=50, deadline=None)
+    def test_transpose_involution(self, a):
+        if a.ndim != 2:
+            a = a.reshape(a.shape[0], -1)
+        x = repro.Tensor(a)
+        assert np.array_equal(x.t().t().data, x.data)
+
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_unsqueeze_squeeze_roundtrip(self, a):
+        x = repro.Tensor(a)
+        assert x.unsqueeze(0).squeeze(0).shape == x.shape
+
+    @given(small_arrays(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=50, deadline=None)
+    def test_chunk_concat_roundtrip(self, a, k):
+        x = repro.Tensor(a)
+        parts = x.chunk(k, dim=0)
+        back = F.cat(list(parts), dim=0)
+        assert np.array_equal(back.data, x.data)
+
+
+class TestReductionProperties:
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_sum_matches_numpy(self, a):
+        x = repro.Tensor(a)
+        assert np.isclose(float(x.sum()), a.sum(dtype=np.float64), rtol=1e-3, atol=1e-2)
+
+    @given(small_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_mean_between_min_and_max(self, a):
+        x = repro.Tensor(a)
+        m = float(x.mean())
+        # float32 accumulation tolerance must scale with magnitude
+        tol = 1e-4 + 1e-6 * max(abs(float(x.min())), abs(float(x.max())))
+        assert float(x.min()) - tol <= m <= float(x.max()) + tol
+
+    @given(small_arrays(max_dims=2))
+    @settings(max_examples=50, deadline=None)
+    def test_argmax_picks_max(self, a):
+        x = repro.Tensor(a)
+        idx = int(x.flatten().argmax())
+        assert x.flatten().data[idx] == float(x.max())
+
+
+class TestMatmulProperties:
+    @given(
+        st.integers(1, 5), st.integers(1, 5), st.integers(1, 5),
+        st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matmul_matches_numpy(self, n, k, m, data):
+        a = data.draw(arrays(np.float32, (n, k), elements=finite_floats))
+        b = data.draw(arrays(np.float32, (k, m), elements=finite_floats))
+        out = repro.Tensor(a).matmul(repro.Tensor(b))
+        assert out.shape == (n, m)
+        assert np.allclose(out.data, a @ b, rtol=1e-3, atol=1e-2)
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_linear_equals_matmul_transpose(self, n, k, data):
+        x = data.draw(arrays(np.float32, (n, k), elements=finite_floats))
+        w = data.draw(arrays(np.float32, (3, k), elements=finite_floats))
+        assert np.allclose(
+            F.linear(repro.Tensor(x), repro.Tensor(w)).data, x @ w.T,
+            rtol=1e-3, atol=1e-2,
+        )

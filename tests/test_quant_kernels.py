@@ -1,0 +1,141 @@
+"""Tests for quantization kernels: QTensor, qparams, qlinear, qrelu, qadd."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.quant import (
+    QTensor,
+    choose_qparams,
+    dequantize,
+    qadd,
+    qlinear,
+    qrelu,
+    quantize_per_tensor,
+)
+from repro.tensor import qint8, quint8
+
+
+class TestChooseQParams:
+    def test_affine_covers_range(self):
+        scale, zp = choose_qparams(-1.0, 3.0, quint8)
+        assert 0 <= zp <= 255
+        # endpoints must be representable within one step
+        assert abs((0 - zp) * scale - (-1.0)) < 2 * scale
+        assert abs((255 - zp) * scale - 3.0) < 2 * scale
+
+    def test_range_widened_to_include_zero(self):
+        scale, zp = choose_qparams(2.0, 3.0, quint8)
+        # zero must be exactly representable
+        assert zp == 0
+        assert abs(0 - (0 - zp) * scale) == 0.0
+
+    def test_symmetric_qint8(self):
+        scale, zp = choose_qparams(-2.0, 1.0, qint8, symmetric=True)
+        assert zp == 0
+        assert scale == pytest.approx(2.0 / 127.5, rel=0.05)
+
+    def test_degenerate_range(self):
+        scale, zp = choose_qparams(0.0, 0.0, quint8)
+        assert scale == 1.0
+
+
+class TestQuantizeDequantize:
+    def test_roundtrip_error_bounded_by_half_scale(self):
+        x = repro.randn(1000)
+        mn, mx = float(x.min()), float(x.max())
+        scale, zp = choose_qparams(mn, mx, quint8)
+        q = quantize_per_tensor(x, scale, zp)
+        back = dequantize(q)
+        assert float((back - x).abs().max()) <= scale / 2 + 1e-7
+
+    def test_zero_exact(self):
+        x = repro.tensor([0.0, 1.0, -1.0])
+        scale, zp = choose_qparams(-1.0, 1.0, quint8)
+        q = quantize_per_tensor(x, scale, zp)
+        assert float(dequantize(q).data[0]) == 0.0
+
+    def test_clamping_at_bounds(self):
+        q = quantize_per_tensor(repro.tensor([1000.0, -1000.0]), 0.1, 128)
+        assert q.data.max() <= 255 and q.data.min() >= 0
+
+    def test_qtensor_metadata(self):
+        q = quantize_per_tensor(repro.randn(3, 4), 0.1, 10)
+        assert q.shape == (3, 4)
+        assert q.ndim == 2
+        assert q.numel() == 12
+        assert q.nbytes() == 12  # int8 storage: 1 byte/elem (4x smaller)
+        assert q.dtype is quint8
+        assert "scale" in repr(q)
+
+    def test_qtensor_rejects_float_dtype(self):
+        with pytest.raises(TypeError):
+            QTensor(np.zeros(3), 1.0, 0, repro.float32)
+
+    def test_int_repr(self):
+        q = quantize_per_tensor(repro.tensor([0.5]), 0.1, 0)
+        assert q.int_repr()[0] == 5
+
+
+class TestQLinear:
+    def _setup(self, batch=4, in_f=16, out_f=8):
+        repro.manual_seed(3)
+        x = repro.randn(batch, in_f)
+        w = repro.randn(out_f, in_f) * 0.3
+        b = repro.randn(out_f) * 0.1
+        y = repro.functional.linear(x, w, b)
+        sx, zx = choose_qparams(float(x.min()), float(x.max()), quint8)
+        sw, _ = choose_qparams(float(w.min()), float(w.max()), qint8, symmetric=True)
+        sy, zy = choose_qparams(float(y.min()), float(y.max()), quint8)
+        qx = quantize_per_tensor(x, sx, zx)
+        qw = quantize_per_tensor(w, sw, 0, qint8)
+        return x, w, b, y, qx, qw, sy, zy
+
+    def test_reference_mode_close_to_float(self):
+        x, w, b, y, qx, qw, sy, zy = self._setup()
+        out = qlinear(qx, qw, b, sy, zy, mode="reference")
+        err = float((dequantize(out) - y).abs().max())
+        assert err < 5 * sy  # within a few output quantization steps
+
+    def test_fast_mode_matches_reference(self):
+        x, w, b, y, qx, qw, sy, zy = self._setup()
+        ref = qlinear(qx, qw, b, sy, zy, mode="reference")
+        fast = qlinear(qx, qw, b, sy, zy, mode="fast")
+        # identical up to +-1 quantization step from float rounding
+        assert np.abs(ref.data.astype(int) - fast.data.astype(int)).max() <= 1
+
+    def test_asymmetric_weight_rejected(self):
+        x, w, b, y, qx, qw, sy, zy = self._setup()
+        bad_w = QTensor(qw.data, qw.scale, 3, qint8)
+        with pytest.raises(ValueError):
+            qlinear(qx, bad_w, b, sy, zy)
+
+    def test_no_bias(self):
+        x, w, b, y, qx, qw, sy, zy = self._setup()
+        out = qlinear(qx, qw, None, sy, zy)
+        assert out.shape == (4, 8)
+
+
+class TestQReluQAdd:
+    def test_qrelu_clamps_at_zero_point(self):
+        x = repro.tensor([-1.0, 0.0, 1.0])
+        scale, zp = choose_qparams(-1.0, 1.0, quint8)
+        q = quantize_per_tensor(x, scale, zp)
+        out = qrelu(q)
+        back = dequantize(out)
+        assert np.allclose(back.data, [0.0, 0.0, 1.0], atol=scale)
+
+    def test_qrelu_preserves_qparams(self):
+        q = quantize_per_tensor(repro.randn(10), 0.05, 30)
+        out = qrelu(q)
+        assert out.scale == q.scale and out.zero_point == q.zero_point
+
+    def test_qadd(self):
+        a = repro.tensor([1.0, 2.0])
+        b = repro.tensor([0.5, -1.0])
+        sa, za = choose_qparams(-2.0, 2.0, quint8)
+        qa = quantize_per_tensor(a, sa, za)
+        qb = quantize_per_tensor(b, sa, za)
+        so, zo = choose_qparams(-3.0, 3.0, quint8)
+        out = dequantize(qadd(qa, qb, so, zo))
+        assert np.allclose(out.data, [1.5, 1.0], atol=2 * so)

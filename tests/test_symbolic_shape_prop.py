@@ -1,0 +1,231 @@
+"""Tests for symbolic shape propagation (the paper's §6.3 future work)."""
+
+import pytest
+
+import repro
+import repro.functional as F
+from repro import nn
+from repro.fx import symbolic_trace
+from repro.fx.passes.symbolic_shape_prop import (
+    ShapeInferenceError,
+    SymbolicShapeProp,
+    SymDim,
+    SymExpr,
+    SymShape,
+)
+from repro.models import MLP, SimpleCNN, resnet18, resnet50
+
+N = SymDim("N")
+
+
+class TestSymExprAlgebra:
+    def test_constants_fold(self):
+        assert (SymExpr.of(2) + 3).as_int() == 5
+        assert (SymExpr.of(4) * 5).as_int() == 20
+        assert (SymExpr.of(7) // 2).as_int() == 3
+
+    def test_symbol_arithmetic(self):
+        e = N * 2 + 3
+        assert repr(e) == "2*N + 3"
+        assert e.substitute({"N": 5}).as_int() == 13
+
+    def test_addition_collects_terms(self):
+        e = N + N
+        assert e == N * 2
+
+    def test_multiplication_of_symbols(self):
+        e = N * N
+        assert e.substitute({"N": 3}).as_int() == 9
+        assert e.free_symbols() == {"N"}
+
+    def test_exact_floordiv(self):
+        e = (N * 4) // 2
+        assert e == N * 2
+
+    def test_inexact_floordiv_raises(self):
+        with pytest.raises(ShapeInferenceError):
+            (N + 1) // 2
+
+    def test_as_int_on_symbolic_raises(self):
+        with pytest.raises(ShapeInferenceError):
+            SymExpr.of(N).as_int()
+
+    def test_equality_and_hash(self):
+        assert SymExpr.of(N) == SymDim("N")
+        assert hash(N * 1 + 0) == hash(SymExpr.of(N))
+
+    def test_subtraction_cancels(self):
+        assert (N * 3 - N * 3).as_int() == 0
+
+
+class TestSymShape:
+    def test_numel(self):
+        s = SymShape((N, 3, 4))
+        assert s.numel() == N * 12
+
+    def test_concrete_detection(self):
+        assert SymShape((2, 3)).is_concrete()
+        assert not SymShape((N, 3)).is_concrete()
+
+    def test_substitute(self):
+        s = SymShape((N, 3)).substitute({"N": 8})
+        assert tuple(s) == (8, 3)
+        assert s.is_concrete()
+
+
+class TestPropagation:
+    def test_mlp(self):
+        gm = symbolic_trace(MLP(8, (16, 32), 4))
+        out = SymbolicShapeProp(gm).propagate(SymShape((N, 8)))
+        assert out == SymShape((N, 4))
+
+    def test_cnn(self):
+        gm = symbolic_trace(SimpleCNN(num_classes=7).eval())
+        out = SymbolicShapeProp(gm).propagate(SymShape((N, 3, 32, 32)))
+        assert out == SymShape((N, 7))
+
+    def test_resnet50_symbolic_batch(self):
+        gm = symbolic_trace(resnet50().eval())
+        out = SymbolicShapeProp(gm).propagate(SymShape((N, 3, 224, 224)))
+        assert out == SymShape((N, 1000))
+
+    def test_every_node_annotated(self):
+        gm = symbolic_trace(MLP(4, (8,), 2))
+        SymbolicShapeProp(gm).propagate(SymShape((N, 4)))
+        for node in gm.graph.nodes:
+            if node.op in ("call_module", "call_function"):
+                assert "sym_shape" in node.meta, node.name
+
+    def test_matches_concrete_shape_prop(self):
+        """Symbolic result specialized at N=5 must equal observed shapes."""
+        from repro.fx.passes import ShapeProp
+
+        gm = symbolic_trace(resnet18(num_classes=10).eval())
+        SymbolicShapeProp(gm).propagate(SymShape((N, 3, 64, 64)))
+        sym_shapes = {
+            n.name: n.meta["sym_shape"] for n in gm.graph.nodes
+            if isinstance(n.meta.get("sym_shape"), SymShape)
+        }
+        ShapeProp(gm).propagate(repro.randn(5, 3, 64, 64))
+        for node in gm.graph.nodes:
+            tm = node.meta.get("tensor_meta")
+            if node.name in sym_shapes and hasattr(tm, "shape"):
+                concrete = sym_shapes[node.name].substitute({"N": 5})
+                assert tuple(int(SymExpr.of(d).as_int()) for d in concrete) == \
+                    tuple(tm.shape), node.name
+
+    def test_conv_shape_arithmetic(self):
+        gm = symbolic_trace(nn.Sequential(nn.Conv2d(3, 8, 7, stride=2, padding=3)))
+        H = SymDim("H")
+        # H must stay symbolic through the conv arithmetic when divisible
+        out = SymbolicShapeProp(gm).propagate(SymShape((1, 3, H * 2, 224)))
+        n, c, h, w = out
+        assert SymExpr.of(h).substitute({"H": 112}).as_int() == 112
+        assert SymExpr.of(w).as_int() == 112
+
+    def test_flatten_multiplies_symbolics(self):
+        def f(x):
+            return x.flatten(1)
+
+        gm = symbolic_trace(f)
+        out = SymbolicShapeProp(gm).propagate(SymShape((N, 3, 4)))
+        assert out == SymShape((N, 12))
+
+    def test_reshape_with_minus_one(self):
+        def f(x):
+            return x.reshape(-1, 6)
+
+        gm = symbolic_trace(f)
+        out = SymbolicShapeProp(gm).propagate(SymShape((N, 2, 3)))
+        assert out == SymShape((N, 6))
+
+    def test_broadcasting(self):
+        def f(x, y):
+            return x + y
+
+        gm = symbolic_trace(f)
+        out = SymbolicShapeProp(gm).propagate(SymShape((N, 1, 4)), SymShape((1, 3, 4)))
+        assert out == SymShape((N, 3, 4))
+
+    def test_broadcast_mismatch_raises(self):
+        def f(x, y):
+            return x + y
+
+        gm = symbolic_trace(f)
+        with pytest.raises(ShapeInferenceError, match="broadcast"):
+            SymbolicShapeProp(gm).propagate(SymShape((N, 3)), SymShape((N, 4)))
+
+    def test_cat_sums_symbolic_dims(self):
+        def f(x, y):
+            return F.cat([x, y], dim=0)
+
+        gm = symbolic_trace(f)
+        M = SymDim("M")
+        out = SymbolicShapeProp(gm).propagate(SymShape((N, 4)), SymShape((M, 4)))
+        assert SymExpr.of(out[0]).substitute({"N": 2, "M": 3}).as_int() == 5
+
+    def test_reductions(self):
+        def f(x):
+            return x.sum(dim=1)
+
+        gm = symbolic_trace(f)
+        out = SymbolicShapeProp(gm).propagate(SymShape((N, 8, 3)))
+        assert out == SymShape((N, 3))
+
+    def test_transpose_and_permute(self):
+        def f(x):
+            return x.transpose(0, 1).permute(1, 0)
+
+        gm = symbolic_trace(f)
+        out = SymbolicShapeProp(gm).propagate(SymShape((N, 7)))
+        assert out == SymShape((N, 7))
+
+    def test_shape_dependent_reshape(self):
+        """x.reshape(x.shape[0], -1) — the §5.3 pattern — stays symbolic."""
+
+        def f(x):
+            return x.reshape(x.shape[0], -1)
+
+        gm = symbolic_trace(f)
+        out = SymbolicShapeProp(gm).propagate(SymShape((N, 2, 5)))
+        assert out == SymShape((N, 10))
+
+    def test_missing_input_shape_raises(self):
+        gm = symbolic_trace(lambda x, y: x + y)
+        with pytest.raises(ShapeInferenceError, match="placeholder"):
+            SymbolicShapeProp(gm).propagate(SymShape((N, 3)))
+
+    def test_unsupported_op_reports_node(self):
+        def f(x):
+            return repro.topk(x, 2)
+
+        gm = symbolic_trace(f)
+        with pytest.raises(ShapeInferenceError, match="topk"):
+            SymbolicShapeProp(gm).propagate(SymShape((N, 5)))
+
+
+class TestDecoderShapes:
+    def test_conv_transpose_shape(self):
+        gm = symbolic_trace(nn.Sequential(
+            nn.ConvTranspose2d(4, 2, 4, stride=2, padding=1)
+        ).eval())
+        out = SymbolicShapeProp(gm).propagate(SymShape((N, 4, 8, 8)))
+        assert out == SymShape((N, 2, 16, 16))
+
+    def test_upsample_shape_symbolic_spatial(self):
+        H = SymDim("H")
+        gm = symbolic_trace(nn.Sequential(nn.Upsample(scale_factor=2)).eval())
+        out = SymbolicShapeProp(gm).propagate(SymShape((1, 3, H, 8)))
+        n, c, h, w = out
+        assert SymExpr.of(h).substitute({"H": 5}).as_int() == 10
+        assert SymExpr.of(w).as_int() == 16
+
+    def test_full_decoder(self):
+        decoder = nn.Sequential(
+            nn.Conv2d(8, 4, 3, padding=1), nn.ReLU(),
+            nn.Upsample(scale_factor=2),
+            nn.ConvTranspose2d(4, 1, 2, stride=2), nn.Sigmoid(),
+        ).eval()
+        gm = symbolic_trace(decoder)
+        out = SymbolicShapeProp(gm).propagate(SymShape((N, 8, 8, 8)))
+        assert out == SymShape((N, 1, 32, 32))

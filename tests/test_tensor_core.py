@@ -1,0 +1,373 @@
+"""Tests for the Tensor class: metadata, views/aliasing, math, operators."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Tensor
+from repro.tensor import Size
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = repro.tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.dtype is repro.float32
+
+    def test_from_int_list_keeps_int64(self):
+        t = repro.tensor([1, 2, 3])
+        assert t.dtype is repro.int64
+
+    def test_float64_input_downcast_to_float32(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype is repro.float32
+
+    def test_explicit_dtype(self):
+        t = repro.tensor([1, 2], dtype=repro.float64)
+        assert t.dtype is repro.float64
+        assert t.data.dtype == np.float64
+
+    def test_tensor_copies_input(self):
+        arr = np.ones(3, dtype=np.float32)
+        t = repro.tensor(arr)
+        arr[0] = 5.0
+        assert t.data[0] == 1.0
+
+    def test_as_tensor_shares(self):
+        t = repro.tensor([1.0, 2.0])
+        t2 = repro.as_tensor(t)
+        assert t2 is t
+
+    def test_from_tensor(self):
+        t = repro.tensor([1.0])
+        t2 = Tensor(t)
+        assert np.array_equal(t2.data, t.data)
+
+
+class TestMetadata:
+    def test_shape_is_size(self):
+        t = repro.zeros(2, 3, 4)
+        assert isinstance(t.shape, Size)
+        assert t.shape == (2, 3, 4)
+
+    def test_size_numel(self):
+        assert Size((2, 3)).numel() == 6
+        assert repro.zeros(2, 3).numel() == 6
+
+    def test_size_method(self):
+        t = repro.zeros(2, 3)
+        assert t.size() == (2, 3)
+        assert t.size(1) == 3
+
+    def test_ndim_dim(self):
+        t = repro.zeros(2, 3, 4)
+        assert t.ndim == 3
+        assert t.dim() == 3
+
+    def test_element_size_nbytes(self):
+        t = repro.zeros(4, dtype=repro.float32)
+        assert t.element_size() == 4
+        assert t.nbytes() == 16
+
+    def test_len(self):
+        assert len(repro.zeros(5, 2)) == 5
+
+    def test_len_of_scalar_raises(self):
+        with pytest.raises(TypeError):
+            len(repro.tensor(1.0))
+
+    def test_device_is_cpu(self):
+        assert repro.zeros(1).device == "cpu"
+
+    def test_repr_contains_dtype(self):
+        assert "float32" in repr(repro.zeros(2))
+
+
+class TestViewsAndMutation:
+    """The PyTorch aliasing model of §2.3: x[i] is a view; writes alias."""
+
+    def test_getitem_returns_view(self):
+        x = repro.zeros(4, 4)
+        row = x[1]
+        row.data[...] = 7.0
+        assert float(x.data[1, 0]) == 7.0
+
+    def test_setitem_writes_through(self):
+        x = repro.zeros(3, 3)
+        x[1] = repro.ones(3)
+        assert np.array_equal(x.data[1], np.ones(3, dtype=np.float32))
+
+    def test_setitem_scalar(self):
+        x = repro.zeros(3)
+        x[0] = 5.0
+        assert float(x.data[0]) == 5.0
+
+    def test_view_aliases(self):
+        x = repro.zeros(2, 3)
+        v = x.view(6)
+        v.data[0] = 9.0
+        assert float(x.data[0, 0]) == 9.0
+
+    def test_view_incompatible_raises(self):
+        x = repro.zeros(2, 3).transpose(0, 1)  # non-contiguous
+        # numpy reshape of a transposed array still succeeds by copying;
+        # a genuinely incompatible size must raise
+        with pytest.raises(RuntimeError):
+            repro.zeros(2, 3).view(7)
+
+    def test_clone_detaches_storage(self):
+        x = repro.ones(3)
+        c = x.clone()
+        c.data[0] = 0.0
+        assert float(x.data[0]) == 1.0
+
+    def test_tensor_index_tensor(self):
+        x = repro.tensor([10.0, 20.0, 30.0])
+        idx = repro.tensor([2, 0])
+        out = x[idx]
+        assert out.tolist() == [30.0, 10.0]
+
+    def test_fill_inplace(self):
+        x = repro.zeros(3)
+        x.fill_(2.5)
+        assert x.tolist() == [2.5, 2.5, 2.5]
+
+    def test_add_inplace(self):
+        x = repro.ones(3)
+        x.add_(repro.ones(3), alpha=2.0)
+        assert x.tolist() == [3.0, 3.0, 3.0]
+
+    def test_copy_inplace(self):
+        x = repro.zeros(3)
+        x.copy_(repro.ones(3))
+        assert x.tolist() == [1.0, 1.0, 1.0]
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        assert repro.zeros(6).reshape(2, 3).shape == (2, 3)
+        assert repro.zeros(6).reshape((2, 3)).shape == (2, 3)
+
+    def test_flatten_default(self):
+        assert repro.zeros(2, 3, 4).flatten().shape == (24,)
+
+    def test_flatten_from_dim(self):
+        assert repro.zeros(2, 3, 4).flatten(1).shape == (2, 12)
+
+    def test_flatten_range(self):
+        assert repro.zeros(2, 3, 4, 5).flatten(1, 2).shape == (2, 12, 5)
+
+    def test_squeeze_unsqueeze(self):
+        t = repro.zeros(1, 3, 1)
+        assert t.squeeze().shape == (3,)
+        assert t.squeeze(0).shape == (3, 1)
+        assert repro.zeros(3).unsqueeze(0).shape == (1, 3)
+        assert repro.zeros(3).unsqueeze(-1).shape == (3, 1)
+
+    def test_transpose_t(self):
+        t = repro.zeros(2, 3)
+        assert t.transpose(0, 1).shape == (3, 2)
+        assert t.t().shape == (3, 2)
+
+    def test_t_3d_raises(self):
+        with pytest.raises(RuntimeError):
+            repro.zeros(2, 3, 4).t()
+
+    def test_permute(self):
+        assert repro.zeros(2, 3, 4).permute(2, 0, 1).shape == (4, 2, 3)
+
+    def test_expand(self):
+        assert repro.zeros(1, 3).expand(4, 3).shape == (4, 3)
+        assert repro.zeros(1, 3).expand(4, -1).shape == (4, 3)
+
+    def test_repeat(self):
+        assert repro.ones(2).repeat(3).shape == (6,)
+
+    def test_chunk(self):
+        parts = repro.zeros(10, 2).chunk(2)
+        assert len(parts) == 2
+        assert parts[0].shape == (5, 2)
+
+    def test_split(self):
+        parts = repro.zeros(10).split(3)
+        assert [p.shape[0] for p in parts] == [3, 3, 3, 1]
+
+    def test_contiguous(self):
+        t = repro.zeros(2, 3).transpose(0, 1)
+        c = t.contiguous()
+        assert c.data.flags["C_CONTIGUOUS"]
+
+
+class TestMathMethods:
+    def test_unary_methods_match_numpy(self):
+        x = repro.rand(10) + 0.5
+        for name, ref in [
+            ("neg", np.negative), ("abs", np.abs), ("exp", np.exp),
+            ("log", np.log), ("sqrt", np.sqrt), ("sin", np.sin),
+            ("cos", np.cos), ("tanh", np.tanh), ("floor", np.floor),
+            ("round", np.round), ("sign", np.sign),
+        ]:
+            got = getattr(x, name)()
+            assert np.allclose(got.data, ref(x.data)), name
+
+    def test_rsqrt_reciprocal(self):
+        x = repro.rand(5) + 1.0
+        assert np.allclose(x.rsqrt().data, 1 / np.sqrt(x.data))
+        assert np.allclose(x.reciprocal().data, 1 / x.data)
+
+    def test_erf_accuracy(self):
+        from scipy.special import erf as scipy_erf
+
+        x = repro.linspace(-4, 4, 101)
+        assert np.allclose(x.erf().data, scipy_erf(x.data), atol=2e-7)
+
+    def test_clamp(self):
+        x = repro.tensor([-2.0, 0.5, 3.0])
+        assert x.clamp(-1, 1).tolist() == [-1.0, 0.5, 1.0]
+        assert x.clamp_min(0).tolist() == [0.0, 0.5, 3.0]
+
+    def test_pow(self):
+        x = repro.tensor([2.0, 3.0])
+        assert x.pow(2).tolist() == [4.0, 9.0]
+
+    def test_masked_fill(self):
+        x = repro.tensor([1.0, 2.0, 3.0])
+        mask = repro.tensor([True, False, True])
+        assert x.masked_fill(mask, 0.0).tolist() == [0.0, 2.0, 0.0]
+
+    def test_softmax_method(self):
+        x = repro.randn(4, 5)
+        s = x.softmax(dim=-1)
+        assert np.allclose(s.data.sum(axis=-1), 1.0, atol=1e-6)
+
+
+class TestReductions:
+    def test_sum_mean(self):
+        x = repro.tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert float(x.sum()) == 10.0
+        assert float(x.mean()) == 2.5
+        assert x.sum(dim=0).tolist() == [4.0, 6.0]
+        assert x.sum(dim=1, keepdim=True).shape == (2, 1)
+
+    def test_var_std_unbiased(self):
+        x = repro.randn(100)
+        assert np.isclose(float(x.var()), float(np.var(x.data, ddof=1)))
+        assert np.isclose(float(x.std(unbiased=False)), float(np.std(x.data)))
+
+    def test_max_min_global(self):
+        x = repro.tensor([3.0, -1.0, 2.0])
+        assert float(x.max()) == 3.0
+        assert float(x.min()) == -1.0
+
+    def test_max_with_dim_returns_values_and_indices(self):
+        x = repro.tensor([[1.0, 5.0], [7.0, 2.0]])
+        values, indices = x.max(dim=1)
+        assert values.tolist() == [5.0, 7.0]
+        assert indices.tolist() == [1, 0]
+
+    def test_argmax_argmin(self):
+        x = repro.tensor([1.0, 9.0, 3.0])
+        assert int(x.argmax()) == 1
+        assert int(x.argmin()) == 0
+
+    def test_all_any(self):
+        assert bool(repro.tensor([True, True]).all())
+        assert not bool(repro.tensor([True, False]).all())
+        assert bool(repro.tensor([False, True]).any())
+
+
+class TestLinearAlgebra:
+    def test_matmul(self):
+        a, b = repro.randn(3, 4), repro.randn(4, 5)
+        assert np.allclose(a.matmul(b).data, a.data @ b.data)
+
+    def test_mm_requires_2d(self):
+        with pytest.raises(RuntimeError):
+            repro.zeros(2, 3, 4).mm(repro.zeros(4, 5))
+
+    def test_bmm(self):
+        a, b = repro.randn(2, 3, 4), repro.randn(2, 4, 5)
+        assert a.bmm(b).shape == (2, 3, 5)
+
+    def test_bmm_requires_3d(self):
+        with pytest.raises(RuntimeError):
+            repro.zeros(3, 4).bmm(repro.zeros(4, 5))
+
+    def test_dot(self):
+        a, b = repro.tensor([1.0, 2.0]), repro.tensor([3.0, 4.0])
+        assert float(a.dot(b)) == 11.0
+
+    def test_matmul_operator(self):
+        a, b = repro.randn(2, 3), repro.randn(3, 2)
+        assert np.allclose((a @ b).data, a.data @ b.data)
+
+
+class TestOperators:
+    def test_arithmetic_matches_numpy(self):
+        a = repro.randn(5)
+        b = repro.randn(5)
+        assert np.allclose((a + b).data, a.data + b.data)
+        assert np.allclose((a - b).data, a.data - b.data)
+        assert np.allclose((a * b).data, a.data * b.data)
+        assert np.allclose((a / (b + 10)).data, a.data / (b.data + 10))
+
+    def test_scalar_broadcast(self):
+        a = repro.ones(3)
+        assert (a + 1).tolist() == [2.0, 2.0, 2.0]
+        assert (2 * a).tolist() == [2.0, 2.0, 2.0]
+        assert (1 - a).tolist() == [0.0, 0.0, 0.0]
+        assert (2 / (a + 1)).tolist() == [1.0, 1.0, 1.0]
+
+    def test_pow_operator(self):
+        a = repro.tensor([2.0])
+        assert float(a ** 3) == 8.0
+        assert float(2 ** repro.tensor(3.0)) == 8.0
+
+    def test_comparisons_return_bool_tensors(self):
+        a = repro.tensor([1.0, 2.0, 3.0])
+        assert (a > 1.5).tolist() == [False, True, True]
+        assert (a == 2.0).tolist() == [False, True, False]
+        assert (a <= 2.0).tolist() == [True, True, False]
+
+    def test_unary_operators(self):
+        a = repro.tensor([-1.0, 2.0])
+        assert (-a).tolist() == [1.0, -2.0]
+        assert abs(a).tolist() == [1.0, 2.0]
+        assert (+a).tolist() == [-1.0, 2.0]
+
+    def test_iadd(self):
+        a = repro.ones(2)
+        a += 1
+        assert a.tolist() == [2.0, 2.0]
+
+    def test_mod_floordiv(self):
+        a = repro.tensor([5.0, 7.0])
+        assert (a % 2).tolist() == [1.0, 1.0]
+        assert (a // 2).tolist() == [2.0, 3.0]
+
+    def test_bool_of_multielement_raises(self):
+        with pytest.raises(RuntimeError):
+            bool(repro.ones(2))
+
+    def test_scalar_conversions(self):
+        assert int(repro.tensor(3.7)) == 3
+        assert float(repro.tensor(2)) == 2.0
+        assert repro.tensor(1.5).item() == 1.5
+
+    def test_iteration(self):
+        rows = list(repro.eye(2))
+        assert len(rows) == 2
+        assert rows[0].tolist() == [1.0, 0.0]
+
+    def test_type_conversions(self):
+        t = repro.tensor([1.5])
+        assert t.long().dtype is repro.int64
+        assert t.int().dtype is repro.int32
+        assert t.double().dtype is repro.float64
+        assert t.bool().dtype is repro.bool_
+        assert t.float() is t  # already float32
+
+    def test_type_as(self):
+        a = repro.tensor([1.0])
+        b = repro.tensor([1], dtype=repro.int32)
+        assert a.type_as(b).dtype is repro.int32

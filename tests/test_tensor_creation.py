@@ -1,0 +1,78 @@
+"""Tests for tensor factory functions and the global RNG."""
+
+import numpy as np
+
+import repro
+
+
+class TestFactories:
+    def test_zeros_ones(self):
+        assert repro.zeros(2, 3).tolist() == [[0, 0, 0], [0, 0, 0]]
+        assert repro.ones(2).tolist() == [1.0, 1.0]
+        assert repro.zeros((2, 2)).shape == (2, 2)  # tuple spelling
+
+    def test_default_dtype_is_float32(self):
+        assert repro.zeros(1).dtype is repro.float32
+        assert repro.rand(1).dtype is repro.float32
+        assert repro.randn(1).dtype is repro.float32
+
+    def test_full(self):
+        t = repro.full((2, 2), 7.0)
+        assert t.tolist() == [[7.0, 7.0], [7.0, 7.0]]
+
+    def test_empty_shape(self):
+        assert repro.empty(3, 4).shape == (3, 4)
+
+    def test_arange(self):
+        assert repro.arange(5).tolist() == [0, 1, 2, 3, 4]
+        assert repro.arange(5).dtype is repro.int64
+        assert repro.arange(1, 4).tolist() == [1, 2, 3]
+        assert repro.arange(0, 10, 3).tolist() == [0, 3, 6, 9]
+        assert repro.arange(0.0, 1.0, 0.5).dtype is repro.float32
+
+    def test_linspace(self):
+        t = repro.linspace(0, 1, 5)
+        assert np.allclose(t.data, [0, 0.25, 0.5, 0.75, 1.0])
+
+    def test_eye(self):
+        assert repro.eye(2).tolist() == [[1.0, 0.0], [0.0, 1.0]]
+        assert repro.eye(2, 3).shape == (2, 3)
+
+    def test_rand_range(self):
+        t = repro.rand(1000)
+        assert float(t.min()) >= 0.0
+        assert float(t.max()) < 1.0
+
+    def test_randn_distribution(self):
+        t = repro.randn(10000)
+        assert abs(float(t.mean())) < 0.05
+        assert abs(float(t.std()) - 1.0) < 0.05
+
+    def test_randint(self):
+        t = repro.randint(0, 10, (100,))
+        assert t.dtype is repro.int64
+        assert int(t.min()) >= 0
+        assert int(t.max()) < 10
+
+    def test_like_factories(self):
+        base = repro.zeros(2, 3, dtype=repro.float64)
+        assert repro.zeros_like(base).shape == (2, 3)
+        assert repro.zeros_like(base).dtype is repro.float64
+        assert repro.ones_like(base).tolist() == [[1.0] * 3] * 2
+        assert repro.randn_like(base).shape == (2, 3)
+
+
+class TestSeeding:
+    def test_manual_seed_reproducible(self):
+        repro.manual_seed(42)
+        a = repro.randn(5)
+        repro.manual_seed(42)
+        b = repro.randn(5)
+        assert np.array_equal(a.data, b.data)
+
+    def test_different_seeds_differ(self):
+        repro.manual_seed(1)
+        a = repro.randn(5)
+        repro.manual_seed(2)
+        b = repro.randn(5)
+        assert not np.array_equal(a.data, b.data)

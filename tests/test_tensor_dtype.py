@@ -1,0 +1,84 @@
+"""Tests for the dtype system."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+import repro
+from repro.tensor.dtype import DType, dtype_from_numpy, promote_types
+
+
+class TestDTypeProperties:
+    def test_float_flags(self):
+        assert repro.float32.is_floating_point
+        assert repro.float64.is_floating_point
+        assert not repro.int64.is_floating_point
+        assert not repro.bool_.is_floating_point
+
+    def test_quantized_flags(self):
+        assert repro.qint8.is_quantized
+        assert repro.quint8.is_quantized
+        assert not repro.int8.is_quantized
+        assert not repro.qint8.is_floating_point
+
+    def test_signedness(self):
+        assert repro.int8.is_signed
+        assert not repro.uint8.is_signed
+        assert not repro.quint8.is_signed
+
+    def test_itemsize(self):
+        assert repro.float32.itemsize == 4
+        assert repro.float64.itemsize == 8
+        assert repro.int8.itemsize == 1
+        assert repro.float16.itemsize == 2
+
+    def test_repr(self):
+        assert repr(repro.float32) == "repro.float32"
+
+    def test_quantized_storage_types(self):
+        assert repro.qint8.np_dtype == np.int8
+        assert repro.quint8.np_dtype == np.uint8
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        loaded = pickle.loads(pickle.dumps(repro.float32))
+        assert loaded is repro.float32
+
+
+class TestDtypeFromNumpy:
+    @pytest.mark.parametrize(
+        "np_dtype,expected",
+        [
+            (np.float32, "float32"), (np.float64, "float64"),
+            (np.int64, "int64"), (np.int32, "int32"), (np.int8, "int8"),
+            (np.uint8, "uint8"), (np.bool_, "bool"), (np.float16, "float16"),
+        ],
+    )
+    def test_known_mappings(self, np_dtype, expected):
+        assert dtype_from_numpy(np_dtype).name == expected
+
+    def test_unknown_dtype_raises(self):
+        with pytest.raises(TypeError):
+            dtype_from_numpy(np.complex128)
+
+
+class TestPromotion:
+    def test_float_int_promotes_to_float(self):
+        assert promote_types(repro.float32, repro.int64) is repro.float64 or \
+            promote_types(repro.float32, repro.int64).is_floating_point
+
+    def test_same_type_identity(self):
+        assert promote_types(repro.float32, repro.float32) is repro.float32
+
+    def test_widening(self):
+        assert promote_types(repro.int8, repro.int32) is repro.int32
+        assert promote_types(repro.float32, repro.float64) is repro.float64
+
+    def test_quantized_same_ok(self):
+        assert promote_types(repro.qint8, repro.qint8) is repro.qint8
+
+    def test_quantized_mixing_raises(self):
+        with pytest.raises(TypeError):
+            promote_types(repro.qint8, repro.float32)
+        with pytest.raises(TypeError):
+            promote_types(repro.qint8, repro.quint8)

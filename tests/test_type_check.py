@@ -1,0 +1,169 @@
+"""Tests for gradual tensor typing (the paper's second §6.3 future-work item)."""
+
+import pytest
+
+import repro
+import repro.functional as F
+from repro import nn
+from repro.fx import symbolic_trace
+from repro.fx.passes.type_check import (
+    Dyn,
+    TensorType,
+    TypeCheckError,
+    is_consistent,
+    meet,
+    type_check,
+)
+from repro.models import MLP, SimpleCNN, resnet18
+
+
+class TestConsistency:
+    def test_dyn_consistent_with_everything(self):
+        assert is_consistent(Dyn, TensorType([1, 2]))
+        assert is_consistent(TensorType([1, 2]), Dyn)
+        assert is_consistent(Dyn, Dyn)
+
+    def test_elementwise_consistency(self):
+        assert is_consistent(TensorType([Dyn, 3]), TensorType([5, 3]))
+        assert not is_consistent(TensorType([4, 3]), TensorType([5, 3]))
+        assert not is_consistent(TensorType([3]), TensorType([3, 1]))  # rank
+
+    def test_meet_keeps_concrete_info(self):
+        m = meet(TensorType([Dyn, 3]), TensorType([5, Dyn]))
+        assert m == TensorType([5, 3])
+
+    def test_meet_with_dyn(self):
+        t = TensorType([1, 2])
+        assert meet(Dyn, t) == t
+        assert meet(t, Dyn) == t
+
+    def test_meet_inconsistent_raises(self):
+        with pytest.raises(TypeCheckError):
+            meet(TensorType([4]), TensorType([5]))
+
+    def test_dyn_singleton(self):
+        from repro.fx.passes.type_check import _DynType
+
+        assert _DynType() is Dyn
+
+    def test_tensor_type_validation(self):
+        with pytest.raises(TypeError):
+            TensorType(["x"])
+
+    def test_fully_static(self):
+        assert TensorType([1, 2]).is_fully_static()
+        assert not TensorType([Dyn, 2]).is_fully_static()
+
+
+class TestTypeCheck:
+    def test_fully_static_mlp(self):
+        gm = symbolic_trace(MLP(8, (16,), 4))
+        out = type_check(gm, [TensorType([32, 8])])
+        assert out == TensorType([32, 4])
+
+    def test_dynamic_batch(self):
+        gm = symbolic_trace(MLP(8, (16,), 4))
+        out = type_check(gm, [TensorType([Dyn, 8])])
+        assert out == TensorType([Dyn, 4])
+
+    def test_fully_dynamic_input(self):
+        gm = symbolic_trace(MLP(8, (16,), 4))
+        assert type_check(gm, [Dyn]) is Dyn
+
+    def test_wrong_feature_dim_rejected(self):
+        gm = symbolic_trace(MLP(8, (16,), 4))
+        with pytest.raises(TypeCheckError):
+            type_check(gm, [TensorType([32, 9])])  # in_features is 8
+
+    def test_dyn_feature_dim_refined(self):
+        """Gradual refinement: Dyn in_features is accepted — the Linear's
+        constraint *narrows* it rather than rejecting."""
+        gm = symbolic_trace(nn.Sequential(nn.Linear(8, 4)))
+        out = type_check(gm, [TensorType([2, Dyn])])
+        assert out == TensorType([2, 4])
+
+    def test_cnn(self):
+        gm = symbolic_trace(SimpleCNN(num_classes=7).eval())
+        out = type_check(gm, [TensorType([Dyn, 3, 32, 32])])
+        assert out == TensorType([Dyn, 7])
+
+    def test_resnet18(self):
+        gm = symbolic_trace(resnet18(num_classes=10).eval())
+        out = type_check(gm, [TensorType([Dyn, 3, 64, 64])])
+        assert out == TensorType([Dyn, 10])
+
+    def test_conv_channel_mismatch_rejected(self):
+        gm = symbolic_trace(nn.Sequential(nn.Conv2d(3, 8, 3)))
+        with pytest.raises(TypeCheckError):
+            type_check(gm, [TensorType([1, 4, 8, 8])])
+
+    def test_conv_rank_mismatch_rejected(self):
+        gm = symbolic_trace(nn.Sequential(nn.Conv2d(3, 8, 3)))
+        with pytest.raises(TypeCheckError):
+            type_check(gm, [TensorType([3, 8, 8])])
+
+    def test_dyn_spatial_dims_flow(self):
+        gm = symbolic_trace(nn.Sequential(nn.Conv2d(3, 8, 3, padding=1)))
+        out = type_check(gm, [TensorType([2, 3, Dyn, Dyn])])
+        assert out == TensorType([2, 8, Dyn, Dyn])
+
+    def test_flatten_with_dyn_dim_gives_dyn(self):
+        def f(x):
+            return x.flatten(1)
+
+        gm = symbolic_trace(f)
+        out = type_check(gm, [TensorType([2, Dyn, 4])])
+        assert out == TensorType([2, Dyn])
+
+    def test_every_node_gets_a_type(self):
+        gm = symbolic_trace(MLP(4, (8,), 2))
+        type_check(gm, [TensorType([1, 4])])
+        for node in gm.graph.nodes:
+            if node.op in ("call_module", "placeholder", "output"):
+                assert node.type is not None
+
+    def test_broadcasting(self):
+        def f(x, y):
+            return x + y
+
+        gm = symbolic_trace(f)
+        out = type_check(gm, [TensorType([Dyn, 1, 4]), TensorType([1, 3, 4])])
+        assert out == TensorType([Dyn, 3, 4])
+
+    def test_broadcast_mismatch_rejected(self):
+        def f(x, y):
+            return x + y
+
+        gm = symbolic_trace(f)
+        with pytest.raises(TypeCheckError):
+            type_check(gm, [TensorType([2, 3]), TensorType([2, 4])])
+
+    def test_matmul_contraction_checked(self):
+        def f(x, y):
+            return x @ y
+
+        gm = symbolic_trace(f)
+        assert type_check(
+            gm, [TensorType([2, 3]), TensorType([3, 5])]
+        ) == TensorType([2, 5])
+        with pytest.raises(TypeCheckError):
+            type_check(gm, [TensorType([2, 3]), TensorType([4, 5])])
+
+    def test_unknown_ops_fall_back_to_dyn(self):
+        def f(x):
+            return repro.topk(x, 2)[0]
+
+        gm = symbolic_trace(f)
+        # gradual typing never *fails* on unknown ops — it loses precision
+        assert type_check(gm, [TensorType([4, 10])]) is Dyn
+
+    def test_missing_input_types_rejected(self):
+        gm = symbolic_trace(lambda x, y: x + y)
+        with pytest.raises(TypeCheckError, match="placeholder"):
+            type_check(gm, [TensorType([2, 2])])
+
+    def test_agrees_with_runtime_shapes(self):
+        gm = symbolic_trace(SimpleCNN().eval())
+        out_t = type_check(gm, [TensorType([5, 3, 32, 32])])
+        real = gm(repro.randn(5, 3, 32, 32))
+        assert out_t == TensorType(list(real.shape))
