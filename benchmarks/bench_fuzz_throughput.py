@@ -1,0 +1,48 @@
+"""Fuzzing-subsystem throughput: programs/sec for generation alone and for
+the full generate + differential-oracle loop.
+
+Not a paper figure — this tracks the cost of the correctness tooling
+(`repro.fx.testing`) alongside the paper benches, so generator or oracle
+regressions show up the same way kernel regressions do.  The smoke run in
+tier-1 CI is 200 iterations; its wall-clock budget is
+``200 / oracle_programs_per_sec``.
+"""
+
+import time
+
+from repro.bench import format_table
+from repro.fx.testing import generate_program, run_oracle, spec_for_iteration
+
+from conftest import bench_scale, write_results
+
+
+def _rate(fn, iters: int) -> float:
+    start = time.perf_counter()
+    for i in range(iters):
+        fn(i)
+    return iters / (time.perf_counter() - start)
+
+
+def test_fuzz_throughput():
+    iters = 200 if bench_scale() == "paper" else 60
+
+    gen_rate = _rate(lambda i: generate_program(spec_for_iteration(0, i)), iters)
+
+    def full(i):
+        report = run_oracle(generate_program(spec_for_iteration(0, i)))
+        assert report.ok, report.summary()
+
+    oracle_rate = _rate(full, iters)
+
+    rows = [
+        ["generate only", iters, f"{gen_rate:.1f}"],
+        ["generate + oracle", iters, f"{oracle_rate:.1f}"],
+        ["tier-1 smoke budget (200 iters)", "", f"{200 / oracle_rate:.1f} s"],
+    ]
+    table = format_table(["stage", "programs", "programs/sec"], rows)
+    write_results("fuzz_throughput", table)
+
+    # Qualitative claims: generation is much cheaper than judging, and the
+    # smoke run stays comfortably inside a CI-friendly budget.
+    assert gen_rate > oracle_rate
+    assert oracle_rate > 5.0

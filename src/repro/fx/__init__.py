@@ -9,7 +9,9 @@ Public surface mirrors ``torch.fx``:
   rewriting;
 * :func:`replace_pattern` — declarative subgraph rewriting;
 * :mod:`repro.fx.passes` — shape propagation, fusion, splitting,
-  visualization, cost modelling, scheduling.
+  visualization, cost modelling, scheduling;
+* :mod:`repro.fx.testing` — differential testing and graph fuzzing of
+  everything above.
 """
 
 from .graph import Graph, PythonCode
@@ -20,6 +22,7 @@ from .proxy import Attribute, Proxy, TraceError
 from .subgraph_rewriter import Match, replace_pattern
 from .tracer import Tracer, TracerBase, symbolic_trace, wrap
 from . import passes
+from . import testing
 
 __all__ = [
     "Attribute",
@@ -39,5 +42,6 @@ __all__ = [
     "passes",
     "replace_pattern",
     "symbolic_trace",
+    "testing",
     "wrap",
 ]

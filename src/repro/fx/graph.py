@@ -336,8 +336,11 @@ class Graph:
         """Check IR well-formedness.
 
         Verifies: unique names, valid opcodes, topological ordering of
-        uses, def-use chain consistency, targets resolvable against the
-        owning module (when one is attached).
+        uses, def-use chain consistency in *both* directions (every
+        ``n ∈ node.args`` has ``node ∈ n.users`` and every
+        ``u ∈ node.users`` reads ``node``), that no erased node is
+        reachable through args or users, and targets resolvable against
+        the owning module (when one is attached).
         """
         seen_names: set[str] = set()
         seen_values: set[Node] = set()
@@ -360,6 +363,10 @@ class Graph:
 
             def check(arg):
                 if isinstance(arg, Node):
+                    if arg._erased:
+                        raise RuntimeError(
+                            f"node {node.name!r} uses erased node {arg.name!r}"
+                        )
                     if arg.graph is not self:
                         raise RuntimeError(
                             f"node {node.name!r} uses {arg.name!r} from a different graph"
@@ -377,6 +384,27 @@ class Graph:
             map_aggregate(node.args, check)
             map_aggregate(node.kwargs, check)
             seen_values.add(node)
+
+        # Reverse direction of the def-use chain: every registered user must
+        # be a live member of this graph that actually reads the node.
+        for node in self.nodes:
+            for user in node.users:
+                if user._erased:
+                    raise RuntimeError(
+                        f"erased node {user.name!r} is still registered as a "
+                        f"user of {node.name!r}"
+                    )
+                if user.graph is not self or user not in seen_values:
+                    raise RuntimeError(
+                        f"node {node.name!r} has user {user.name!r} that is "
+                        "not part of this graph"
+                    )
+                if node not in user._input_nodes:
+                    raise RuntimeError(
+                        f"def-use chain broken: {node.name!r} lists "
+                        f"{user.name!r} as a user, but {user.name!r} does not "
+                        "read it"
+                    )
 
         if self.owning_module is not None:
             root = self.owning_module

@@ -1,0 +1,300 @@
+"""Seedable, shape-aware random program generation for fuzzing the fx stack.
+
+Programs come in two families:
+
+* ``"graph"`` — a raw :class:`~repro.fx.Graph` built node-by-node against a
+  synthesized module root.  Covers all six opcodes (``placeholder``,
+  ``call_function``, ``call_method``, ``call_module``, ``get_attr``,
+  ``output``), kwargs-carrying and kwargs-only calls, list aggregates
+  (``cat``), multi-output nodes (``chunk`` + ``getitem``), shared
+  subexpressions (operand reuse), multi-use placeholders, and tuple/dict
+  output aggregates.
+* ``"module"`` — a random ``nn.Module`` tree (MLP or Conv/BatchNorm stack)
+  that is symbolically traced; the untraced module provides an independent
+  *eager* reference for the differential oracle, and the conv family gives
+  the fusion and quantization pipelines real work.
+
+Determinism contract (relied on by :mod:`.minimize` and the replay tests):
+
+* every random decision for op index ``i`` is drawn from its own
+  ``random.Random(f"{seed}:{i}")`` stream, so suppressing one op (via
+  ``ProgramSpec.skip``) does not perturb the choices of the others —
+  that is what makes delta-debugging over generator decisions stable;
+* the same :class:`ProgramSpec` always produces byte-identical generated
+  source and identical example inputs (the global RNG is re-seeded from
+  ``spec.seed`` before any parameter/input materialization).
+"""
+
+from __future__ import annotations
+
+import operator
+import random
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ... import functional as F
+from ...nn import (
+    BatchNorm2d, Conv2d, Flatten, GELU, LayerNorm, Linear, Module, ReLU,
+    Sequential, Sigmoid, Tanh,
+)
+from ...tensor import Tensor, manual_seed, randn
+from ..graph import Graph
+from ..graph_module import GraphModule
+from ..node import Node
+from ..tracer import symbolic_trace
+
+__all__ = ["ProgramSpec", "GeneratedProgram", "generate_program", "spec_for_iteration"]
+
+BATCH = 2
+FEATURES = (2, 3, 4, 5)
+
+_UNARY_FNS = (F.relu, F.tanh, F.sigmoid, F.gelu, F.neg, F.abs, F.sin, F.cos)
+_BINARY_FNS = (operator.add, operator.sub, operator.mul, F.maximum, F.minimum)
+_UNARY_METHODS = ("relu", "tanh", "sigmoid", "neg", "abs")
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """Complete, replayable description of one generated program.
+
+    Attributes:
+        seed: master seed; drives every decision and all tensor values.
+        family: ``"graph"`` or ``"module"``.
+        n_ops: number of op *slots*; each slot emits zero, one, or two nodes.
+        skip: op slots suppressed by the minimizer (empty for fresh runs).
+    """
+
+    seed: int
+    family: str = "graph"
+    n_ops: int = 10
+    skip: frozenset = field(default_factory=frozenset)
+
+    def dropping(self, index: int) -> "ProgramSpec":
+        return replace(self, skip=frozenset(self.skip | {index}))
+
+
+@dataclass
+class GeneratedProgram:
+    """A generated program plus everything the oracle needs to judge it."""
+
+    spec: ProgramSpec
+    gm: GraphModule
+    inputs: tuple
+    eager: Optional[Callable]  # independent reference, or None (graph family)
+    source: str                # generated forward source (byte-stable per spec)
+    ops_emitted: int
+
+
+def spec_for_iteration(seed: int, i: int) -> ProgramSpec:
+    """The spec the fuzz loop uses for iteration *i* of a run seeded *seed*.
+
+    Kept here (not in the CLI) so a failure report's ``(seed, i)`` pair and
+    a :class:`ProgramSpec` are interchangeable.
+    """
+    family = "module" if i % 4 == 3 else "graph"
+    return ProgramSpec(seed=seed * 1_000_003 + i, family=family, n_ops=4 + (i % 9))
+
+
+def generate_program(spec: ProgramSpec) -> GeneratedProgram:
+    """Materialize *spec* into a runnable program."""
+    # Re-seed the global RNG so parameters, buffers and example inputs are
+    # a pure function of the spec.
+    manual_seed(spec.seed & 0x7FFFFFFF)
+    if spec.family == "graph":
+        return _generate_graph_program(spec)
+    if spec.family == "module":
+        return _generate_module_program(spec)
+    raise ValueError(f"unknown program family {spec.family!r}")
+
+
+# -- graph family --------------------------------------------------------------
+
+
+def _rng_for(spec: ProgramSpec, label: Any) -> random.Random:
+    # str seeds hash via sha512 inside Random — stable across processes,
+    # unlike builtin hash() under PYTHONHASHSEED randomization.
+    return random.Random(f"{spec.seed}:{label}")
+
+
+def _pick(values: list, rng: random.Random):
+    """Sample an operand, biased toward recent values but able to reach any
+    earlier one — this is what creates shared subexpressions."""
+    if rng.random() < 0.5 and len(values) > 3:
+        return values[rng.randrange(len(values) - 3, len(values))]
+    return values[rng.randrange(len(values))]
+
+
+def _generate_graph_program(spec: ProgramSpec) -> GeneratedProgram:
+    root = Module()
+    g = Graph()
+    rng0 = _rng_for(spec, "init")
+
+    # (node, shape) pool; every emitted value is a candidate operand later.
+    values: list[tuple[Node, tuple[int, ...]]] = []
+    input_shapes: list[tuple[int, ...]] = []
+    for i in range(rng0.randint(1, 3)):
+        feat = rng0.choice(FEATURES)
+        node = g.placeholder(f"x{i}")
+        values.append((node, (BATCH, feat)))
+        input_shapes.append((BATCH, feat))
+
+    kinds = ("unary_fn", "binary_fn", "kwargs_fn", "method", "module",
+             "get_attr", "cat", "chunk")
+    weights = (5, 4, 2, 3, 4, 2, 2, 2)
+
+    emitted = 0
+    for i in range(spec.n_ops):
+        if i in spec.skip:
+            continue
+        rng = _rng_for(spec, i)
+        kind = rng.choices(kinds, weights)[0]
+        emitted += _emit_op(kind, i, rng, g, root, values)
+
+    # Output aggregate: single value, tuple, or dict.
+    rng_out = _rng_for(spec, "out")
+    k = min(rng_out.randint(1, 4), len(values))
+    picks = [values[j][0] for j in sorted(rng_out.sample(range(len(values)), k))]
+    style = rng_out.choice(("single", "tuple", "dict"))
+    if style == "single" or len(picks) == 1:
+        g.output(picks[0])
+    elif style == "tuple":
+        g.output(tuple(picks))
+    else:
+        g.output({f"out{j}": n for j, n in enumerate(picks)})
+
+    gm = GraphModule(root, g, class_name="FuzzProgram")
+    inputs = tuple(randn(*shape) for shape in input_shapes)
+    return GeneratedProgram(spec, gm, inputs, None, gm.code, emitted)
+
+
+def _emit_op(kind: str, i: int, rng: random.Random, g: Graph, root: Module,
+             values: list[tuple[Node, tuple[int, ...]]]) -> int:
+    """Emit the nodes for one op slot; returns how many nodes were added."""
+    v, shape = _pick(values, rng)
+
+    if kind == "unary_fn":
+        fn = rng.choice(_UNARY_FNS)
+        values.append((g.call_function(fn, (v,)), shape))
+        return 1
+
+    if kind == "binary_fn":
+        mates = [(n, s) for n, s in values if s == shape]
+        if not mates:
+            values.append((g.call_function(F.relu, (v,)), shape))
+            return 1
+        w, _ = mates[rng.randrange(len(mates))]
+        fn = rng.choice(_BINARY_FNS)
+        if fn is operator.add and rng.random() < 0.3:
+            # kwargs-carrying spelling of the same op.
+            node = g.call_function(F.add, (v, w), {"alpha": rng.choice((1, 2))})
+        else:
+            node = g.call_function(fn, (v, w))
+        values.append((node, shape))
+        return 1
+
+    if kind == "kwargs_fn":
+        # Discrete bound sets and a bias toward early operands make
+        # same-target/same-operand/different-kwargs collisions likely —
+        # the shape of bug a kwargs-blind CSE or matcher would introduce.
+        if rng.random() < 0.5:
+            v, shape = values[rng.randrange(min(2, len(values)))]
+        lo = rng.choice((-1.0, -0.5, -0.25))
+        hi = rng.choice((0.25, 0.5, 1.0))
+        node = g.call_function(F.clamp, (v,), {"min": lo, "max": hi})
+        values.append((node, shape))
+        return 1
+
+    if kind == "method":
+        if rng.random() < 0.3:
+            if rng.random() < 0.5:
+                v, shape = values[rng.randrange(min(2, len(values)))]
+            kw = {"min": rng.choice((-0.75, -0.5)), "max": rng.choice((0.5, 0.75))}
+            node = g.call_method("clamp", (v,), kw)
+        else:
+            node = g.call_method(rng.choice(_UNARY_METHODS), (v,))
+        values.append((node, shape))
+        return 1
+
+    if kind == "module":
+        feat = shape[-1]
+        which = rng.choice(("linear", "layernorm", "act"))
+        if which == "linear":
+            out_feat = rng.choice(FEATURES)
+            mod: Module = Linear(feat, out_feat)
+            new_shape = (shape[0], out_feat)
+        elif which == "layernorm":
+            mod = LayerNorm(feat)
+            new_shape = shape
+        else:
+            mod = rng.choice((ReLU, Tanh, Sigmoid, GELU))()
+            new_shape = shape
+        name = f"mod{i}"
+        setattr(root, name, mod)
+        values.append((g.call_module(name, (v,)), new_shape))
+        return 1
+
+    if kind == "get_attr":
+        feat = rng.choice(FEATURES)
+        name = f"_buf{i}"
+        data = np.array(
+            [[rng.gauss(0.0, 1.0) for _ in range(feat)] for _ in range(BATCH)],
+            dtype=np.float32,
+        )
+        root.register_buffer(name, Tensor(data))
+        values.append((g.get_attr(name), (BATCH, feat)))
+        return 1
+
+    if kind == "cat":
+        w, wshape = _pick(values, rng)
+        node = g.call_function(F.cat, ([v, w],), {"dim": 1})
+        values.append((node, (shape[0], shape[-1] + wshape[-1])))
+        return 1
+
+    if kind == "chunk":
+        evens = [(n, s) for n, s in values if s[-1] % 2 == 0]
+        if not evens:
+            values.append((g.call_function(F.tanh, (v,)), shape))
+            return 1
+        w, wshape = evens[rng.randrange(len(evens))]
+        chunk = g.call_method("chunk", (w, 2), {"dim": 1})
+        piece = g.call_function(operator.getitem, (chunk, rng.randrange(2)))
+        values.append((piece, (wshape[0], wshape[-1] // 2)))
+        return 2
+
+    raise AssertionError(f"unknown op kind {kind!r}")
+
+
+# -- module family -------------------------------------------------------------
+
+
+def _generate_module_program(spec: ProgramSpec) -> GeneratedProgram:
+    rng = _rng_for(spec, "module")
+    if rng.random() < 0.5:
+        dims = [rng.choice((3, 4, 6, 8))]
+        layers: list[Module] = []
+        for j in range(rng.randint(1, max(1, min(3, spec.n_ops)))):
+            out = rng.choice((3, 4, 6, 8))
+            layers.append(Linear(dims[-1], out))
+            layers.append(rng.choice((ReLU, Tanh, GELU, Sigmoid))())
+            dims.append(out)
+        model = Sequential(*layers)
+        inputs = (randn(BATCH, dims[0]),)
+    else:
+        chans = [rng.choice((2, 3))]
+        layers = []
+        for j in range(rng.randint(1, 2)):
+            out = rng.choice((2, 3, 4))
+            layers.append(Conv2d(chans[-1], out, 3, padding=1))
+            layers.append(BatchNorm2d(out))
+            layers.append(ReLU())
+            chans.append(out)
+        if rng.random() < 0.5:
+            layers.append(Flatten())
+            layers.append(Linear(chans[-1] * 8 * 8, rng.choice((2, 4))))
+        model = Sequential(*layers)
+        inputs = (randn(BATCH, chans[0], 8, 8),)
+    model.eval()  # deterministic re-execution (frozen BN statistics)
+    gm = symbolic_trace(model)
+    return GeneratedProgram(spec, gm, inputs, model, gm.code, len(layers))

@@ -1,0 +1,332 @@
+"""The differential oracle: run one generated program every way we can and
+demand agreement.
+
+For each :class:`~repro.fx.testing.generator.GeneratedProgram` the oracle
+executes:
+
+1. the **reference** — the untraced eager module (module family) or the
+   :class:`~repro.fx.Interpreter` (graph family, where the IR itself is the
+   ground truth and the interpreter is an executor independent of codegen);
+2. the **generated Python source** (``gm(*inputs)``);
+3. the **Interpreter** (``Interpreter(gm).run(*inputs)``);
+4. a **re-trace** of the generated source (Figure 3 round-trip); and
+5. the program **after each registered pass pipeline** — ``dce``, ``cse``,
+   ``const_fold``, ``normalize``, ``fuse``, and the quantization round
+   trip — each applied to a fresh copy, followed by ``graph.lint()``.
+
+Any disagreement beyond tolerance, lint failure, or exception is recorded
+as a failing :class:`CheckOutcome`.  Numeric divergences additionally get a
+best-effort :class:`~repro.fx.passes.net_min.DivergenceReport` localizing
+the first bad node via ``find_first_divergence``.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ...tensor import Tensor
+from ..graph_module import GraphModule
+from ..interpreter import Interpreter
+from ..node import Node
+from ..tracer import symbolic_trace
+from ..passes import (
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    fold_constants,
+    fuse_conv_bn,
+    normalize_args,
+)
+from ..passes.net_min import DivergenceReport, find_first_divergence
+from .generator import GeneratedProgram
+
+__all__ = [
+    "CheckOutcome",
+    "OracleReport",
+    "PASS_PIPELINES",
+    "max_abs_diff",
+    "run_oracle",
+]
+
+#: Numeric agreement threshold for exact re-executions of the same float32
+#: arithmetic (codegen / interpreter / retrace / structural passes).
+EXACT_ATOL = 1e-5
+#: Extra slack for passes that re-associate float math (weight folding).
+FOLD_ATOL = 5e-3
+
+
+def max_abs_diff(a: Any, b: Any) -> float:
+    """Max absolute elementwise difference across an output structure.
+
+    Returns ``inf`` on any structural mismatch (shape, length, keys, type).
+    """
+    if isinstance(a, Tensor) and isinstance(b, Tensor):
+        if tuple(a.shape) != tuple(b.shape):
+            return float("inf")
+        if a.data.size == 0:
+            return 0.0
+        return float(np.abs(a.data.astype(np.float64) - b.data.astype(np.float64)).max())
+    if isinstance(a, (tuple, list)) and isinstance(b, (tuple, list)):
+        if len(a) != len(b):
+            return float("inf")
+        return max((max_abs_diff(x, y) for x, y in zip(a, b)), default=0.0)
+    if isinstance(a, dict) and isinstance(b, dict):
+        if set(a) != set(b):
+            return float("inf")
+        return max((max_abs_diff(a[k], b[k]) for k in a), default=0.0)
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return abs(float(a) - float(b))
+    return 0.0 if a == b else float("inf")
+
+
+def _ref_scale(ref: Any) -> float:
+    """Largest reference magnitude, for relative tolerances."""
+    if isinstance(ref, Tensor):
+        return float(np.abs(ref.data).max()) if ref.data.size else 0.0
+    if isinstance(ref, (tuple, list)):
+        return max((_ref_scale(x) for x in ref), default=0.0)
+    if isinstance(ref, dict):
+        return max((_ref_scale(v) for v in ref.values()), default=0.0)
+    if isinstance(ref, (int, float)):
+        return abs(float(ref))
+    return 0.0
+
+
+@dataclass
+class CheckOutcome:
+    """Verdict of one oracle check on one program."""
+
+    name: str
+    ok: bool
+    error: Optional[str] = None
+    max_err: float = 0.0
+    divergence: Optional[DivergenceReport] = None
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else f"FAIL ({self.error})"
+        return f"CheckOutcome({self.name}: {status})"
+
+
+@dataclass
+class OracleReport:
+    """All check outcomes for one generated program."""
+
+    program: GeneratedProgram
+    outcomes: list[CheckOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def failures(self) -> list[CheckOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def summary(self) -> str:
+        spec = self.program.spec
+        lines = [
+            f"program seed={spec.seed} family={spec.family} n_ops={spec.n_ops} "
+            f"skip={sorted(spec.skip)}: "
+            + ("all checks passed" if self.ok else f"{len(self.failures)} FAILING checks")
+        ]
+        for o in self.outcomes:
+            mark = "  ok  " if o.ok else "  FAIL"
+            detail = "" if o.ok else f" — {o.error}"
+            if o.divergence is not None and o.divergence.diverged:
+                detail += f" [first divergence at node {o.divergence.node.name!r}]"
+            lines.append(f"{mark} {o.name}{detail}")
+        return "\n".join(lines)
+
+
+def _copy_gm(gm: GraphModule) -> GraphModule:
+    # Pickle round-trip: the one copy path GraphModule guarantees (codegen
+    # is deterministic, so forward is regenerated on load).
+    return pickle.loads(pickle.dumps(gm))
+
+
+def _pipeline_dce(gm: GraphModule) -> GraphModule:
+    eliminate_dead_code(gm)
+    return gm
+
+
+def _pipeline_cse(gm: GraphModule) -> GraphModule:
+    eliminate_common_subexpressions(gm)
+    return gm
+
+
+def _pipeline_const_fold(gm: GraphModule) -> GraphModule:
+    fold_constants(gm)
+    return gm
+
+
+def _pipeline_normalize(gm: GraphModule) -> GraphModule:
+    normalize_args(gm)
+    return gm
+
+
+def _pipeline_fuse(gm: GraphModule) -> GraphModule:
+    gm.eval()  # fusion folds frozen BN statistics; training mode is an error
+    return fuse_conv_bn(gm)
+
+
+#: Registered pass pipelines, each ``GraphModule -> GraphModule`` on a copy.
+#: The quantization round-trip is handled separately in :func:`run_oracle`
+#: because it needs the calibration inputs and a looser tolerance.
+PASS_PIPELINES: dict[str, Callable[[GraphModule], GraphModule]] = {
+    "dce": _pipeline_dce,
+    "cse": _pipeline_cse,
+    "const_fold": _pipeline_const_fold,
+    "normalize": _pipeline_normalize,
+    "fuse": _pipeline_fuse,
+}
+
+_PIPELINE_ATOL = {"fuse": FOLD_ATOL}
+
+
+def _exc_summary(exc: Exception) -> str:
+    buf = io.StringIO()
+    traceback.print_exception(type(exc), exc, exc.__traceback__, limit=3, file=buf)
+    last = buf.getvalue().strip().splitlines()[-1]
+    return last
+
+
+def _localize(gm: GraphModule, transformed: GraphModule,
+              inputs: tuple, atol: float) -> Optional[DivergenceReport]:
+    """Best-effort first-divergence localization after a pass.
+
+    Uses :func:`find_first_divergence` with a suspect backend that executes
+    each node through the *transformed* module's state when a node of the
+    same name and opcode survived the pass (covers module-swap passes and
+    in-place rewrites); unmatched nodes fall back to reference semantics.
+    """
+    try:
+        by_name = {n.name: n for n in transformed.graph.nodes}
+        ref_interp = Interpreter(gm, garbage_collect_values=False)
+        sus_interp = Interpreter(transformed, garbage_collect_values=False)
+
+        def suspect(node: Node, args: tuple, kwargs: dict) -> Any:
+            n2 = by_name.get(node.name)
+            if n2 is not None and n2.op == node.op:
+                return getattr(sus_interp, n2.op)(n2.target, args, kwargs)
+            return getattr(ref_interp, node.op)(node.target, args, kwargs)
+
+        return find_first_divergence(gm, suspect, *inputs, atol=atol)
+    except Exception:
+        return None
+
+
+def run_oracle(program: GeneratedProgram, localize: bool = True) -> OracleReport:
+    """Run every registered check on *program* and collect the verdicts."""
+    report = OracleReport(program)
+    gm, inputs = program.gm, program.inputs
+
+    # -- reference value ----------------------------------------------------
+    try:
+        if program.eager is not None:
+            ref = program.eager(*inputs)
+        else:
+            ref = Interpreter(gm).run(*inputs)
+    except Exception as exc:
+        report.outcomes.append(CheckOutcome(
+            "reference", False, f"reference execution raised: {_exc_summary(exc)}"))
+        return report
+    scale = _ref_scale(ref)
+
+    def check_numeric(name: str, fn: Callable[[], Any], atol: float,
+                      transformed: Optional[GraphModule] = None) -> None:
+        try:
+            out = fn()
+        except Exception as exc:
+            report.outcomes.append(CheckOutcome(name, False, _exc_summary(exc)))
+            return
+        err = max_abs_diff(ref, out)
+        tol = atol * (1.0 + scale)
+        if err <= tol:
+            report.outcomes.append(CheckOutcome(name, True, max_err=err))
+            return
+        div = None
+        if localize and transformed is not None:
+            div = _localize(gm, transformed, inputs, tol)
+        report.outcomes.append(CheckOutcome(
+            name, False, f"numeric divergence {err:.3g} > tol {tol:.3g}",
+            max_err=err, divergence=div))
+
+    # -- pristine-module checks --------------------------------------------
+    try:
+        gm.graph.lint()
+        report.outcomes.append(CheckOutcome("lint", True))
+    except Exception as exc:
+        report.outcomes.append(CheckOutcome("lint", False, _exc_summary(exc)))
+
+    check_numeric("codegen", lambda: gm(*inputs), EXACT_ATOL)
+    check_numeric("interpreter", lambda: Interpreter(gm).run(*inputs), EXACT_ATOL)
+
+    def retrace() -> Any:
+        gm2 = symbolic_trace(gm)
+        gm2.graph.lint()
+        return gm2(*inputs)
+
+    check_numeric("retrace", retrace, EXACT_ATOL)
+
+    # -- pass pipelines, each on a fresh copy ------------------------------
+    for name, pipeline in PASS_PIPELINES.items():
+        try:
+            transformed = pipeline(_copy_gm(gm))
+            transformed.graph.lint()
+        except Exception as exc:
+            report.outcomes.append(CheckOutcome(name, False, _exc_summary(exc)))
+            continue
+        check_numeric(name, lambda t=transformed: t(*inputs),
+                      _PIPELINE_ATOL.get(name, EXACT_ATOL), transformed=transformed)
+
+    # -- quantization round-trip -------------------------------------------
+    _check_quantization(report, gm, inputs, ref, scale, localize)
+    return report
+
+
+def _check_quantization(report: OracleReport, gm: GraphModule, inputs: tuple,
+                        ref: Any, scale: float, localize: bool) -> None:
+    from ...quant.quantize_fx import convert_fx, prepare_fx
+
+    try:
+        prepared = prepare_fx(_copy_gm(gm))
+        prepared.graph.lint()
+        out = prepared(*inputs)  # doubles as the calibration pass
+    except Exception as exc:
+        report.outcomes.append(CheckOutcome("quant_prepare", False, _exc_summary(exc)))
+        return
+    err = max_abs_diff(ref, out)
+    tol = EXACT_ATOL * (1.0 + scale)
+    if err <= tol:
+        report.outcomes.append(CheckOutcome("quant_prepare", True, max_err=err))
+    else:
+        # Observers must be numerically transparent.
+        report.outcomes.append(CheckOutcome(
+            "quant_prepare", False,
+            f"observers changed numerics: {err:.3g} > tol {tol:.3g}", max_err=err))
+        return
+
+    try:
+        converted = convert_fx(prepared)
+        converted.graph.lint()
+        qout = converted(*inputs)
+    except Exception as exc:
+        report.outcomes.append(CheckOutcome("quant_convert", False, _exc_summary(exc)))
+        return
+    qerr = max_abs_diff(ref, qout)
+    # int8 quantization legitimately perturbs numerics; the oracle only
+    # rejects structural breakage or wildly wrong results.
+    qtol = 0.25 * (1.0 + scale)
+    if qerr <= qtol and np.isfinite(qerr):
+        report.outcomes.append(CheckOutcome("quant_convert", True, max_err=qerr))
+    else:
+        div = _localize(gm, converted, inputs, qtol) if localize else None
+        report.outcomes.append(CheckOutcome(
+            "quant_convert", False,
+            f"quantized output off by {qerr:.3g} (> {qtol:.3g})",
+            max_err=qerr, divergence=div))

@@ -73,6 +73,25 @@ def _is_relu(node: Node, modules: dict[str, Module]) -> bool:
     return False
 
 
+def _insert_anchor(graph, value: Node) -> Node:
+    """Insertion point for a node that consumes *value*.
+
+    Inserting directly after a placeholder would land the new node inside
+    the placeholder block (placeholders must stay contiguous at the top of
+    the graph, which ``Graph.lint`` enforces); anchor at the last
+    placeholder instead.  Surfaced by the differential fuzzer on
+    multi-input graphs where a non-last placeholder feeds a quantizable op.
+    """
+    if value.op != "placeholder":
+        return value
+    anchor = value
+    for node in graph.nodes:
+        if node.op != "placeholder":
+            break
+        anchor = node
+    return anchor
+
+
 def prepare_fx(
     model: Module | GraphModule,
     qconfig: QConfig = default_qconfig,
@@ -113,7 +132,7 @@ def prepare_fx(
         counter += 1
         gm.add_submodule(name, obs)
         modules[name] = obs
-        with graph.inserting_after(value):
+        with graph.inserting_after(_insert_anchor(graph, value)):
             obs_node = graph.call_module(name, (value,))
         value.replace_all_uses_with(obs_node, delete_user_cb=lambda u: u is not obs_node)
         observed[value] = obs_node
@@ -238,7 +257,7 @@ def convert_fx(gm: GraphModule, mode: str = "fast") -> GraphModule:
         name = f"quantize_{boundary_counter}"
         boundary_counter += 1
         gm.add_submodule(name, Quantize(scale, zp))
-        with graph.inserting_after(value):
+        with graph.inserting_after(_insert_anchor(graph, value)):
             qnode = graph.call_module(name, (value,))
         quant_cache[value] = qnode
         return qnode
@@ -251,7 +270,7 @@ def convert_fx(gm: GraphModule, mode: str = "fast") -> GraphModule:
         name = f"dequantize_{boundary_counter}"
         boundary_counter += 1
         gm.add_submodule(name, DeQuantize())
-        with graph.inserting_after(value):
+        with graph.inserting_after(_insert_anchor(graph, value)):
             dnode = graph.call_module(name, (value,))
         dequant_cache[value] = dnode
         return dnode

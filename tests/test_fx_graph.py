@@ -293,3 +293,68 @@ class TestImpureModules:
         gm = symbolic_trace(M().eval())
         gm.graph.eliminate_dead_code()
         assert not gm.graph.find_nodes(op="call_module", target="bn")
+
+
+class TestLintBackEdges:
+    """Strengthened lint: users/args consistency in both directions and no
+    reachable erased nodes (fuzzing subsystem satellite)."""
+
+    def test_stale_user_entry_detected(self):
+        g = Graph()
+        x = g.placeholder("x")
+        y = g.call_function(F.relu, (x,))
+        g.output(y)
+        g.lint()
+        # corrupt: register a user that does not actually read x
+        out = g.output_node
+        x.users.setdefault(out)
+        del out._input_nodes[y]  # keep forward chain silent about it
+        with pytest.raises(RuntimeError, match="def-use chain broken"):
+            g.lint()
+
+    def test_missing_user_entry_detected(self):
+        g = Graph()
+        x = g.placeholder("x")
+        y = g.call_function(F.relu, (x,))
+        g.output(y)
+        # corrupt: y reads x but x no longer lists y as a user
+        del x.users[y]
+        with pytest.raises(RuntimeError, match="not in users"):
+            g.lint()
+
+    def test_erased_node_as_argument_detected(self):
+        g = Graph()
+        x = g.placeholder("x")
+        y = g.call_function(F.relu, (x,))
+        g.output(y)
+        # forcibly mark y erased without unlinking it (simulates a buggy pass)
+        y._erased = True
+        g._len -= 1
+        with pytest.raises(RuntimeError, match="erased"):
+            g.lint()
+
+    def test_erased_user_entry_detected(self):
+        g = Graph()
+        x = g.placeholder("x")
+        y = g.call_function(F.relu, (x,))
+        out = g.output(y)
+        # erase y bypassing the users check, leaving x -> y dangling
+        y._remove_from_list()
+        y._erased = True
+        g._len -= 1
+        out._input_nodes.pop(y, None)
+        out._args = (x,)
+        x.users.setdefault(out)
+        with pytest.raises(RuntimeError, match="erased"):
+            g.lint()
+
+    def test_user_from_other_graph_detected(self):
+        g1, g2 = Graph(), Graph()
+        x1 = g1.placeholder("x")
+        g1.output(x1)
+        x2 = g2.placeholder("x")
+        alien = g2.call_function(F.relu, (x2,))
+        g2.output(alien)
+        x1.users.setdefault(alien)
+        with pytest.raises(RuntimeError, match="not part of this graph"):
+            g1.lint()

@@ -261,3 +261,56 @@ class TestScheduler:
             transfer_latency=1e-3,
         )
         assert chatty.makespan > mono.makespan
+
+
+class TestSplitFuzzSurfacedEdgeCases:
+    """split_module edge cases the fuzz generator covers: values crossing
+    partitions through kwargs, multi-use placeholders, and shared
+    subexpressions consumed by several partitions."""
+
+    def test_kwargs_value_crossing_partitions(self):
+        def f(x, w, b):
+            w2 = repro.tanh(w)
+            b2 = repro.relu(b)
+            return F.linear(x, w2, bias=b2)
+
+        gm = symbolic_trace(f)
+        pid = {"tanh": 0, "relu": 0, "linear": 1}
+        split = split_module(gm, lambda n: pid[n.name])
+        split.graph.lint()
+        x, w, b = repro.randn(2, 4), repro.randn(3, 4), repro.randn(3)
+        assert np.allclose(split(x, w, b).data, gm(x, w, b).data, atol=1e-6)
+
+    def test_multi_use_placeholder_feeds_several_partitions(self):
+        def f(x):
+            a = repro.relu(x)
+            b = repro.tanh(x)
+            c = a + x
+            return b * c
+
+        gm = symbolic_trace(f)
+        pid = {"relu": 0, "tanh": 1, "add": 0, "mul": 2}
+        split = split_module(gm, lambda n: pid[n.name])
+        split.graph.lint()
+        for sub in ("submod_0", "submod_1", "submod_2"):
+            split.get_submodule(sub).graph.lint()
+        x = repro.randn(3)
+        assert np.allclose(split(x).data, gm(x).data, atol=1e-6)
+
+    def test_shared_subexpression_threaded_once(self):
+        def f(x):
+            shared = repro.relu(x)
+            a = shared + 1
+            b = shared * 2
+            return a + b
+
+        gm = symbolic_trace(f)
+        pid = {"relu": 0, "add": 1, "mul": 2, "add_1": 3}
+        split = split_module(gm, lambda n: pid[n.name])
+        split.graph.lint()
+        # the producing partition exposes the shared value exactly once
+        sub0 = split.get_submodule("submod_0")
+        out_node = sub0.graph.output_node
+        assert not isinstance(out_node.args[0], tuple)
+        x = repro.randn(4)
+        assert np.allclose(split(x).data, gm(x).data, atol=1e-6)

@@ -170,3 +170,67 @@ class TestMethodAndKwargPatterns:
         assert len(replace_pattern(
             gm2, lambda v: F.softmax(v, dim=1), lambda v: v
         )) == 1
+
+
+class TestFuzzSurfacedEdgeCases:
+    """Edge cases the fuzz generator covers (kwargs-only calls, shared
+    subexpressions, multi-use placeholders) locked in as regressions."""
+
+    def test_kwargs_only_call_pattern(self):
+        def model(x):
+            return F.clamp(x, min=-0.5, max=0.5).neg()
+
+        def pattern(v):
+            return F.clamp(v, min=-0.5, max=0.5)
+
+        def replacement(v):
+            return repro.tanh(v)
+
+        gm = symbolic_trace(model)
+        matches = replace_pattern(gm, pattern, replacement)
+        assert len(matches) == 1
+        gm.graph.lint()
+        x = repro.randn(4)
+        assert np.allclose(gm(x).data, -np.tanh(x.data), atol=1e-6)
+
+    def test_kwargs_only_call_wrong_bounds_no_match(self):
+        gm = symbolic_trace(lambda x: F.clamp(x, min=-0.5, max=0.5))
+        assert replace_pattern(
+            gm, lambda v: F.clamp(v, min=-0.25, max=0.5), lambda v: v
+        ) == []
+
+    def test_shared_subexpression_escaping_interior_not_rewritten(self):
+        # relu(x) feeds both the pattern interior (neg) and an outside
+        # consumer (add): rewriting would change the escaped value, so the
+        # match must be rejected and semantics preserved.
+        def model(x):
+            r = repro.relu(x)
+            return r.neg() + r
+
+        gm = symbolic_trace(model)
+        matches = replace_pattern(
+            gm, lambda v: repro.relu(v).neg(), lambda v: repro.gelu(v)
+        )
+        assert matches == []
+        gm.graph.lint()
+        x = repro.randn(5)
+        expected = -np.maximum(x.data, 0) + np.maximum(x.data, 0)
+        assert np.allclose(gm(x).data, expected, atol=1e-6)
+
+    def test_multi_use_placeholder_binds_consistently(self):
+        def model(x):
+            return (x * x) + x
+
+        gm = symbolic_trace(model)
+        matches = replace_pattern(
+            gm, lambda v: v * v, lambda v: v.pow(2)
+        )
+        assert len(matches) == 1
+        gm.graph.lint()
+        x = repro.randn(4)
+        assert np.allclose(gm(x).data, x.data ** 2 + x.data, atol=1e-6)
+
+    def test_multi_use_placeholder_rejects_distinct_operands(self):
+        # pattern v * v must NOT match x * y
+        gm = symbolic_trace(lambda x, y: x * y)
+        assert replace_pattern(gm, lambda v: v * v, lambda v: v.pow(2)) == []
