@@ -15,7 +15,7 @@ Public surface mirrors ``torch.fx``:
 """
 
 from .graph import Graph, PythonCode
-from .graph_module import GraphModule
+from .graph_module import GraphModule, clear_codegen_cache, codegen_cache_info
 from .interpreter import Interpreter, Transformer
 from .node import Node, map_arg, map_aggregate
 from .proxy import Attribute, Proxy, TraceError
@@ -37,6 +37,8 @@ __all__ = [
     "Tracer",
     "TracerBase",
     "Transformer",
+    "clear_codegen_cache",
+    "codegen_cache_info",
     "map_aggregate",
     "map_arg",
     "passes",

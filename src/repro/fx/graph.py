@@ -10,9 +10,11 @@ ecosystem.
 from __future__ import annotations
 
 import builtins
+import hashlib
 import keyword
 import operator
 import re
+import sys
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional, TYPE_CHECKING
@@ -414,6 +416,101 @@ class Graph:
                 elif node.op == "get_attr":
                     _resolve_attr(root, node.target)
 
+    # -- structural hashing ----------------------------------------------------------------
+
+    def structural_hash(self, include_attrs: bool = True) -> str:
+        """Canonical content hash of the graph (hex SHA-256 digest).
+
+        Covers, in topological order: opcodes, call targets, the full
+        args/kwargs topology (Node references are replaced by the
+        producer's position in the graph, so the hash is **stable across
+        node renames**), placeholder defaults and inline immediates, and —
+        when ``include_attrs`` is True and an owning module is attached —
+        the values of state the graph reads (``get_attr`` targets and the
+        parameters/buffers/training flags of ``call_module`` submodules).
+
+        Two graphs with equal hashes generate equivalent ``forward``
+        code and (with ``include_attrs=True``) compute the same function,
+        which is what makes the hash usable as a transform/codegen cache
+        key (see :class:`~repro.fx.passes.pass_manager.PassManager` and
+        :meth:`~repro.fx.GraphModule.recompile`).
+        """
+        h = hashlib.sha256()
+        index: dict[Node, int] = {}
+
+        def feed(token: str) -> None:
+            h.update(token.encode("utf-8", "backslashreplace"))
+            h.update(b"\x00")
+
+        def feed_arg(a: Any) -> None:
+            if isinstance(a, Node):
+                # Position, not name: renames must not change the hash.
+                feed(f"%{index.get(a, -1)}")
+            elif isinstance(a, tuple):
+                feed(f"tuple:{len(a)}")
+                for x in a:
+                    feed_arg(x)
+            elif isinstance(a, list):
+                feed(f"list:{len(a)}")
+                for x in a:
+                    feed_arg(x)
+            elif isinstance(a, dict):
+                feed(f"dict:{len(a)}")
+                for k, v in a.items():
+                    feed_arg(k)
+                    feed_arg(v)
+            elif isinstance(a, slice):
+                feed("slice")
+                feed_arg(a.start)
+                feed_arg(a.stop)
+                feed_arg(a.step)
+            elif isinstance(a, BASE_ARGUMENT_TYPES):
+                feed(f"{type(a).__name__}:{a!r}")
+            else:
+                feed(_hash_token_for_object(a))
+
+        def feed_value(v: Any) -> None:
+            from ..tensor import Tensor  # local import: tensor pkg imports are lazy here
+
+            if isinstance(v, Tensor):
+                feed(f"tensor:{tuple(v.shape)}:{v.dtype}")
+                h.update(v.data.tobytes())
+            elif isinstance(v, BASE_ARGUMENT_TYPES):
+                feed(f"{type(v).__name__}:{v!r}")
+            else:
+                feed(_hash_token_for_object(v))
+
+        def feed_module_state(mod: Any) -> None:
+            feed(f"module:{type(mod).__name__}:training={mod.training}")
+            for name, p in mod.named_parameters():
+                feed(f"param:{name}")
+                feed_value(p)
+            for name, b in mod.named_buffers():
+                feed(f"buffer:{name}")
+                feed_value(b)
+
+        root = self.owning_module if include_attrs else None
+        for i, node in enumerate(self.nodes):
+            index[node] = i
+            feed(node.op)
+            feed(_hash_token_for_object(node.target)
+                 if not isinstance(node.target, str) else f"s:{node.target}")
+            feed_arg(node.args)
+            feed_arg(node.kwargs)
+            if root is not None and node.op in ("get_attr", "call_module"):
+                try:
+                    value = _resolve_attr(root, node.target)
+                except RuntimeError:
+                    feed("unresolvable")
+                    continue
+                from ..nn import Module
+
+                if isinstance(value, Module):
+                    feed_module_state(value)
+                else:
+                    feed_value(value)
+        return h.hexdigest()
+
     # -- printing --------------------------------------------------------------------------
 
     def print_tabular(self) -> str:
@@ -575,6 +672,28 @@ class Graph:
         code = "".join("    " + line for line in body)
         src = f"def forward({', '.join(['self'] + free_vars)}):\n{code}"
         return PythonCode(src, globals_)
+
+
+def _hash_token_for_object(obj: Any) -> str:
+    """Stable identity token for a callable/opaque object in a hash.
+
+    Named functions and classes that can be re-resolved from their module
+    to the *same* object get a portable ``mod.qualname`` token (so two
+    traces of the same program hash equal).  Everything else — closures,
+    lambdas, bound methods, arbitrary instances — falls back to ``id()``,
+    which is process-stable and never aliases two different objects.
+    """
+    name = getattr(obj, "__qualname__", None) or getattr(obj, "__name__", None)
+    mod = getattr(obj, "__module__", None)
+    if name and mod and "<locals>" not in name:
+        resolved: Any = sys.modules.get(mod)
+        for atom in name.split("."):
+            resolved = getattr(resolved, atom, None)
+            if resolved is None:
+                break
+        if resolved is obj:
+            return f"f:{mod}.{name}"
+    return f"obj:{type(obj).__name__}:{id(obj)}"
 
 
 def _global_name_for(fn: Callable) -> str:

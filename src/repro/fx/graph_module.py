@@ -14,13 +14,14 @@ import linecache
 import os
 import pickle
 import types
-from typing import Any
+from collections import OrderedDict
+from typing import Any, Callable, Optional
 
 from ..nn import Module, Parameter
 from ..tensor import Tensor
 from .graph import Graph, PythonCode
 
-__all__ = ["GraphModule"]
+__all__ = ["GraphModule", "codegen_cache_info", "clear_codegen_cache"]
 
 # Each generated forward gets a unique pseudo-filename registered in
 # linecache so pdb / tracebacks can show the generated source (§5.4).
@@ -32,6 +33,79 @@ def _register_source(src: str) -> str:
     _NEXT_CODE_ID[0] += 1
     linecache.cache[filename] = (len(src), None, src.splitlines(True), filename)
     return filename
+
+
+def _evict_source(filename: str) -> None:
+    linecache.cache.pop(filename, None)
+
+
+class _CodegenCache:
+    """Structural-hash-keyed cache of compiled ``forward`` functions.
+
+    Keyed on ``(Graph.structural_hash(include_attrs=False), node names)``:
+    the generated source depends only on graph structure plus the variable
+    names, never on parameter values, so identical graphs across modules
+    (pickle round-trips, no-op transforms, fuzz iterations) share one
+    compile + one linecache entry instead of re-exec'ing the source every
+    ``recompile()``.  LRU-bounded; eviction also drops the entry's
+    linecache registration, so repeated recompilation no longer grows
+    ``linecache.cache`` without bound.
+    """
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple, tuple[str, Callable, dict, str]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.maxsize > 0
+
+    def get(self, key: tuple) -> Optional[tuple[str, Callable, dict, str]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, entry: tuple[str, Callable, dict, str]) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            _, (_, _, _, stale_filename) = self._entries.popitem(last=False)
+            _evict_source(stale_filename)
+
+    def clear(self) -> None:
+        for _, _, _, filename in self._entries.values():
+            _evict_source(filename)
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_CODEGEN_CACHE = _CodegenCache(
+    maxsize=int(os.environ.get("REPRO_FX_CODEGEN_CACHE_SIZE", "256")))
+
+
+def codegen_cache_info() -> dict[str, int]:
+    """Hit/miss/size counters for the shared codegen cache."""
+    return {
+        "hits": _CODEGEN_CACHE.hits,
+        "misses": _CODEGEN_CACHE.misses,
+        "size": len(_CODEGEN_CACHE),
+        "maxsize": _CODEGEN_CACHE.maxsize,
+    }
+
+
+def clear_codegen_cache() -> None:
+    """Drop all cached compiled forwards (and their linecache entries)."""
+    _CODEGEN_CACHE.clear()
 
 
 def _rebuild_graph_module(cls: type, state: dict) -> "GraphModule":
@@ -138,15 +212,54 @@ class GraphModule(Module):
         return self._code
 
     def recompile(self) -> PythonCode:
-        """Regenerate and install ``forward`` from the current graph."""
+        """Regenerate and install ``forward`` from the current graph.
+
+        Compilation is memoized on the graph's structural hash: a graph
+        identical to one compiled before (same structure *and* node names)
+        reuses the cached function object and linecache entry instead of
+        re-exec'ing the source.  The generated code reads all state through
+        ``self.<path>``, so one compiled forward is valid for every module
+        whose graph hashes equal.
+        """
+        key = None
+        if _CODEGEN_CACHE.enabled:
+            try:
+                key = (
+                    self._graph.structural_hash(include_attrs=False),
+                    tuple(n.name for n in self._graph.nodes),
+                )
+            except Exception:
+                key = None  # unhashable target/arg: fall back to a fresh compile
+        if key is not None:
+            cached = _CODEGEN_CACHE.get(key)
+            if cached is not None:
+                src, fn, globals_, _filename = cached
+                self._evict_private_source()
+                self._code = src
+                object.__setattr__(self, "forward", types.MethodType(fn, self))
+                return PythonCode(src, globals_)
+
         python_code = self._graph.python_code(root_module="self")
+        self._evict_private_source()
         self._code = python_code.src
         filename = _register_source(self._code)
         globals_ = dict(python_code.globals)
         exec(compile(self._code, filename, "exec"), globals_)
         fn = globals_["forward"]
         object.__setattr__(self, "forward", types.MethodType(fn, self))
+        if key is not None:
+            _CODEGEN_CACHE.put(key, (self._code, fn, python_code.globals, filename))
+        else:
+            # Uncached compile: this module owns the linecache entry and
+            # must evict it on the next recompile (or leak one per call).
+            object.__setattr__(self, "_private_fx_filename", filename)
         return python_code
+
+    def _evict_private_source(self) -> None:
+        stale = getattr(self, "_private_fx_filename", None)
+        if stale is not None:
+            _evict_source(stale)
+            object.__setattr__(self, "_private_fx_filename", None)
 
     def print_readable(self) -> str:
         """Print (and return) the generated code."""
@@ -274,7 +387,7 @@ class {module_name}(Module):
         picklable, and does not need to be — codegen is deterministic)."""
         plain = {
             k: v for k, v in self.__dict__.items()
-            if k not in ("_graph", "_code", "forward",
+            if k not in ("_graph", "_code", "forward", "_private_fx_filename",
                          "_parameters", "_buffers", "_modules")
         }
         state = {

@@ -55,12 +55,15 @@ class Interpreter:
         self.env = dict(initial_env) if initial_env else {}
         self.args_iter: Iterator[Any] = iter(args)
         for node in self.module.graph.nodes:
-            if node in self.env:
-                continue  # pre-seeded by initial_env (partial evaluation)
-            self.env[node] = self.run_node(node)
+            # Pre-seeded nodes (partial evaluation) skip execution only:
+            # they still participate in garbage collection, and a seeded
+            # output node still terminates the run with its seeded value.
+            if node not in self.env:
+                self.env[node] = self.run_node(node)
             if self.garbage_collect_values:
                 for dead in self.user_to_last_uses.get(node, []):
-                    del self.env[dead]
+                    # A pre-seeded node's inputs may never have entered env.
+                    self.env.pop(dead, None)
             if node.op == "output":
                 return self.env[node]
         raise RuntimeError("graph terminated without an output node")
@@ -135,6 +138,7 @@ class Transformer(Interpreter):
         self.tracer = Tracer()
         self.tracer.graph = self.new_graph
         self.tracer.root = module
+        self._transformed = False
 
     def placeholder(self, target: str, args: tuple, kwargs: dict) -> Proxy:
         return self.tracer.create_proxy("placeholder", target, args, kwargs)
@@ -164,9 +168,28 @@ class Transformer(Interpreter):
 
     def transform(self) -> GraphModule:
         """Run the whole graph through the re-emitting handlers and return
-        the transformed GraphModule."""
+        the transformed GraphModule.
+
+        Single-use: ``new_graph`` is consumed by the returned module, so a
+        second call would re-emit every node into the already-finalized
+        graph and mix stale Proxies into the result.  Construct a fresh
+        Transformer per transform instead.
+        """
+        if self._transformed:
+            raise RuntimeError(
+                "Transformer instances are single-use: transform() was already "
+                "called and its Proxy environment is stale. Construct a new "
+                f"{type(self).__name__}({type(self.module).__name__}) to "
+                "transform again."
+            )
+        self._transformed = True
         self.env = {}
         self.args_iter = iter(())  # placeholders create proxies, consume nothing
         for node in self.module.graph.nodes:
             self.env[node] = self.run_node(node)
-        return GraphModule(self.module, self.new_graph, class_name=self.module._class_name)
+        result = GraphModule(self.module, self.new_graph,
+                             class_name=self.module._class_name)
+        # Honour run()'s env-reset contract: do not leak Proxies on the
+        # instance after the transform is finished.
+        self.env = {}
+        return result

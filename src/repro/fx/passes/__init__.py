@@ -9,16 +9,27 @@ Each submodule corresponds to a capability the paper evaluates or cites:
 * :mod:`.scheduler` — software pipelining simulation (§6.2.3);
 * :mod:`.split_module` / :mod:`.splitter` — partitioning (§6.2.3, §6.4);
 * :mod:`.cse` / :mod:`.dce` — classic cleanups made trivial by the
-  basic-block IR (§5.5).
+  basic-block IR (§5.5);
+* :mod:`.pass_manager` — instrumented pipeline driver with per-pass
+  metrics, lint validation, and structural-hash transform caching (§4.4).
 """
 
 from . import const_fold, cost_model, cse, dce, fuser, graph_drawer, net_min
-from . import normalize, profiler, scheduler, shape_prop, symbolic_shape_prop, type_check
+from . import normalize, pass_manager, profiler, scheduler, shape_prop
+from . import symbolic_shape_prop, type_check
 from . import split_module as split_module_pass
 from . import splitter
 from .const_fold import fold_constants
 from .net_min import DivergenceReport, compare_outputs, find_first_divergence
 from .normalize import normalize_args
+from .pass_manager import (
+    PassError,
+    PassManager,
+    PassManagerResult,
+    PassRecord,
+    TransformCache,
+    shared_transform_cache,
+)
 from .profiler import NodeProfile, ProfileReport, ProfilingInterpreter, profile
 from .type_check import Dyn, TensorType, TypeCheckError, type_check as check_types
 from .symbolic_shape_prop import (
@@ -52,10 +63,17 @@ __all__ = [
     "fold_constants",
     "net_min",
     "NodeProfile",
+    "PassError",
+    "PassManager",
+    "PassManagerResult",
+    "PassRecord",
     "ProfileReport",
     "ProfilingInterpreter",
+    "TransformCache",
+    "shared_transform_cache",
     "profile",
     "profiler",
+    "pass_manager",
     "normalize",
     "normalize_args",
     "Dyn",

@@ -1,0 +1,347 @@
+"""``PassManager`` — an instrumented driver for pipelines of graph passes.
+
+The paper's position (§4.4) is that fx passes are ordinary Python
+functions, composable by calling one after another.  This module keeps
+that calling convention (a pass is any ``Callable[[GraphModule], Any]``:
+return a new ``GraphModule`` to replace the input, or anything else —
+``None``, a change count — to signal an in-place transform) but runs the
+pipeline under one managed driver that adds what ad-hoc composition
+cannot:
+
+* **per-pass metrics** — wall time and node-count delta for every stage,
+  rendered as a table by :meth:`PassManagerResult.format`;
+* **validation** — optional :meth:`Graph.lint` after every pass, so a
+  pass that corrupts the IR is caught at the stage that broke it, not
+  three passes later;
+* **error context** — any exception is re-raised as a :class:`PassError`
+  naming the failing pass and its position in the pipeline;
+* **transform caching** — each pass's input is fingerprinted with
+  :meth:`Graph.structural_hash` (attribute values included, so folded
+  weights key correctly); a ``(pass, input-hash)`` pair seen before skips
+  the pass and replays the cached result instead.
+
+Cached results are stored as pickle bytes and replayed by unpickling, so
+a hit can never alias the module another pipeline run produced; the
+unpickle path itself is cheap because :meth:`GraphModule.recompile` hits
+the structural-hash codegen cache.  Passes whose module fails to pickle
+(e.g. a closure ``call_function`` target) simply run uncached.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence, Union
+
+from ..graph_module import GraphModule
+
+__all__ = [
+    "CacheEntry",
+    "PassError",
+    "PassManager",
+    "PassManagerResult",
+    "PassRecord",
+    "TransformCache",
+    "shared_transform_cache",
+]
+
+Pass = Callable[[GraphModule], Any]
+
+
+class PassError(RuntimeError):
+    """A pass (or its post-pass lint) failed; names the offending pass."""
+
+
+@dataclass
+class PassRecord:
+    """Metrics for one pass execution within a pipeline run."""
+
+    name: str
+    wall_time: float
+    nodes_before: int
+    nodes_after: int
+    cache_hit: bool = False
+    linted: bool = False
+    input_hash: str = ""
+    output_hash: str = ""
+
+    @property
+    def node_delta(self) -> int:
+        return self.nodes_after - self.nodes_before
+
+
+@dataclass
+class PassManagerResult:
+    """The transformed module plus the per-pass instrumentation report."""
+
+    graph_module: GraphModule
+    records: list[PassRecord] = field(default_factory=list)
+    total_time: float = 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.records if r.cache_hit)
+
+    def format(self) -> str:
+        """Render the per-pass timing / node-delta report as a table."""
+        header = ("pass", "time (ms)", "nodes", "delta", "cache", "lint")
+        rows = [header]
+        for r in self.records:
+            delta = f"{r.node_delta:+d}" if r.node_delta else "0"
+            rows.append((
+                r.name,
+                f"{r.wall_time * 1e3:.3f}",
+                f"{r.nodes_before}->{r.nodes_after}",
+                delta,
+                "hit" if r.cache_hit else "-",
+                "ok" if r.linted else "-",
+            ))
+        rows.append((
+            "total",
+            f"{self.total_time * 1e3:.3f}",
+            "", "", f"{self.cache_hits}/{len(self.records)}", "",
+        ))
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        lines = []
+        for i, row in enumerate(rows):
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+
+@dataclass
+class CacheEntry:
+    """One memoized pass result: the output module as pickle bytes plus
+    enough metadata (hash, node count) to chain further lookups without
+    unpickling it."""
+
+    output_hash: str
+    payload: bytes
+    node_count: int
+
+
+class TransformCache:
+    """LRU cache of pass results keyed by ``(pass name, input hash)``.
+
+    Values are :class:`CacheEntry` objects.  Replay unpickles a fresh
+    module, so cached results are never shared mutable state — and a run
+    of consecutive hits is chained through the stored output hashes, so
+    intermediate results are never materialized at all.
+    """
+
+    def __init__(self, maxsize: int = 1024):
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple[str, str], CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: tuple[str, str]) -> Optional[CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key: tuple[str, str], entry: CacheEntry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_SHARED_CACHE = TransformCache()
+
+
+def shared_transform_cache() -> TransformCache:
+    """The process-wide cache used by default by every PassManager."""
+    return _SHARED_CACHE
+
+
+def _pass_name(p: Pass, index: int) -> str:
+    name = getattr(p, "__name__", None)
+    if name in (None, "<lambda>"):
+        return f"pass_{index}"
+    return name
+
+
+class PassManager:
+    """Runs an ordered list of passes over a GraphModule.
+
+    Args:
+        passes: pass callables, or ``(name, callable)`` pairs.  A pass
+            receives the current GraphModule; if it returns a GraphModule
+            that becomes the pipeline's new current module, any other
+            return value means "transformed in place".
+        lint_after_each: run ``graph.lint()`` after every pass and fail
+            with a :class:`PassError` naming the pass that broke the IR.
+        cache: ``True`` (default) to use the process-wide
+            :func:`shared_transform_cache`, ``False``/``None`` to disable
+            caching, or a :class:`TransformCache` instance for an
+            isolated cache.
+
+    Use the *returned* module of :meth:`run`: when a cached result is
+    replayed, the input module is left untouched even for passes that
+    normally transform in place.
+    """
+
+    def __init__(
+        self,
+        passes: Sequence[Union[Pass, tuple[str, Pass]]],
+        lint_after_each: bool = False,
+        cache: Union[TransformCache, bool, None] = True,
+    ):
+        self.passes: list[tuple[str, Pass]] = []
+        for i, p in enumerate(passes):
+            if isinstance(p, tuple):
+                name, fn = p
+            else:
+                name, fn = _pass_name(p, i), p
+            if not callable(fn):
+                raise TypeError(f"pass {name!r} is not callable")
+            self.passes.append((name, fn))
+        self.lint_after_each = lint_after_each
+        if cache is True:
+            self.cache: Optional[TransformCache] = _SHARED_CACHE
+        elif cache in (False, None):
+            self.cache = None
+        else:
+            self.cache = cache
+        self.last_result: Optional[PassManagerResult] = None
+
+    def add_pass(self, p: Pass, name: Optional[str] = None) -> "PassManager":
+        self.passes.append((name or _pass_name(p, len(self.passes)), p))
+        return self
+
+    def __call__(self, gm: GraphModule) -> GraphModule:
+        """Pipeline-of-pipelines composition: a PassManager is itself a
+        valid pass (returns the transformed module)."""
+        return self.run(gm).graph_module
+
+    def run(self, gm: GraphModule) -> PassManagerResult:
+        """Run every pass in order; returns the transformed module plus
+        per-pass records.  Also stashed on ``self.last_result``.
+
+        Cache replay is *lazy*: while consecutive passes keep hitting, the
+        pipeline only chains the stored output hashes and never unpickles
+        the intermediate modules — a fully-cached re-run costs one input
+        hash, one lookup per pass, and a single unpickle at the end.
+        """
+        if not isinstance(gm, GraphModule):
+            raise TypeError(f"PassManager.run expects a GraphModule, got {type(gm).__name__}")
+        records: list[PassRecord] = []
+        pipeline_start = time.perf_counter()
+
+        # The pipeline's current value: a live module, or — after a cache
+        # hit — just the entry's pickle bytes plus (hash, node count).
+        current: Union[GraphModule, bytes] = gm
+        current_hash: Optional[str] = None
+        current_nodes = len(gm.graph)
+
+        for index, (name, fn) in enumerate(self.passes):
+            start = time.perf_counter()
+            if current_hash is None:
+                assert isinstance(current, GraphModule)
+                current_hash = self._hash(current)
+
+            if self.cache is not None and current_hash:
+                entry = self.cache.lookup((name, current_hash))
+                if entry is not None:
+                    records.append(PassRecord(
+                        name=name,
+                        wall_time=time.perf_counter() - start,
+                        nodes_before=current_nodes,
+                        nodes_after=entry.node_count,
+                        cache_hit=True,
+                        linted=False,  # validated when it was first produced
+                        input_hash=current_hash,
+                        output_hash=entry.output_hash,
+                    ))
+                    current = entry.payload
+                    current_hash = entry.output_hash
+                    current_nodes = entry.node_count
+                    continue
+
+            gm = self._materialize(current)
+            gm, record = self._execute(index, name, fn, gm, current_hash, start)
+            records.append(record)
+            current, current_hash, current_nodes = gm, record.output_hash or None, len(gm.graph)
+
+        result = PassManagerResult(
+            self._materialize(current), records,
+            total_time=time.perf_counter() - pipeline_start)
+        self.last_result = result
+        return result
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _materialize(current: Union[GraphModule, bytes]) -> GraphModule:
+        if isinstance(current, bytes):
+            return pickle.loads(current)
+        return current
+
+    def _execute(self, index: int, name: str, fn: Pass, gm: GraphModule,
+                 input_hash: Optional[str], start: float) -> tuple[GraphModule, PassRecord]:
+        nodes_before = len(gm.graph)
+        try:
+            out = fn(gm)
+        except Exception as exc:
+            raise PassError(
+                f"pass {index} ({name!r}) failed on a graph with "
+                f"{nodes_before} nodes: {type(exc).__name__}: {exc}"
+            ) from exc
+        if isinstance(out, GraphModule):
+            gm = out
+        linted = False
+        if self.lint_after_each:
+            try:
+                gm.graph.lint()
+            except Exception as exc:
+                raise PassError(
+                    f"pass {index} ({name!r}) produced an invalid graph "
+                    f"(lint failed): {type(exc).__name__}: {exc}"
+                ) from exc
+            linted = True
+        output_hash = self._hash(gm)
+
+        if self.cache is not None and input_hash and output_hash:
+            try:
+                payload = pickle.dumps(gm)
+            except Exception:
+                payload = None  # unpicklable target: run this pass uncached
+            if payload is not None:
+                self.cache.store(
+                    (name, input_hash),
+                    CacheEntry(output_hash, payload, len(gm.graph)))
+
+        record = PassRecord(
+            name=name,
+            wall_time=time.perf_counter() - start,
+            nodes_before=nodes_before,
+            nodes_after=len(gm.graph),
+            cache_hit=False,
+            linted=linted,
+            input_hash=input_hash or "",
+            output_hash=output_hash,
+        )
+        return gm, record
+
+    @staticmethod
+    def _hash(gm: GraphModule) -> str:
+        try:
+            return gm.graph.structural_hash(include_attrs=True)
+        except Exception:
+            return ""  # unhashable graph: disable caching for this stage

@@ -23,6 +23,7 @@ from .minimize import MinimizedRepro, minimize_failure, render_repro_script
 from .oracle import (
     CheckOutcome,
     OracleReport,
+    PASS_MANAGERS,
     PASS_PIPELINES,
     max_abs_diff,
     run_oracle,
@@ -36,6 +37,7 @@ __all__ = [
     "GeneratedProgram",
     "MinimizedRepro",
     "OracleReport",
+    "PASS_MANAGERS",
     "PASS_PIPELINES",
     "ProgramSpec",
     "fuzz",

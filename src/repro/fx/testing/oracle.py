@@ -12,7 +12,11 @@ executes:
 4. a **re-trace** of the generated source (Figure 3 round-trip); and
 5. the program **after each registered pass pipeline** — ``dce``, ``cse``,
    ``const_fold``, ``normalize``, ``fuse``, and the quantization round
-   trip — each applied to a fresh copy, followed by ``graph.lint()``.
+   trip — each applied to a fresh copy.  The pipelines run through an
+   instrumented :class:`~repro.fx.passes.PassManager` with post-pass
+   ``graph.lint()`` validation enabled, so every fuzz iteration also
+   exercises the managed pass driver and its structural-hash transform
+   cache.
 
 Any disagreement beyond tolerance, lint failure, or exception is recorded
 as a failing :class:`CheckOutcome`.  Numeric divergences additionally get a
@@ -36,6 +40,7 @@ from ..interpreter import Interpreter
 from ..node import Node
 from ..tracer import symbolic_trace
 from ..passes import (
+    PassManager,
     eliminate_common_subexpressions,
     eliminate_dead_code,
     fold_constants,
@@ -48,6 +53,7 @@ from .generator import GeneratedProgram
 __all__ = [
     "CheckOutcome",
     "OracleReport",
+    "PASS_MANAGERS",
     "PASS_PIPELINES",
     "max_abs_diff",
     "run_oracle",
@@ -149,41 +155,28 @@ def _copy_gm(gm: GraphModule) -> GraphModule:
     return pickle.loads(pickle.dumps(gm))
 
 
-def _pipeline_dce(gm: GraphModule) -> GraphModule:
-    eliminate_dead_code(gm)
-    return gm
-
-
-def _pipeline_cse(gm: GraphModule) -> GraphModule:
-    eliminate_common_subexpressions(gm)
-    return gm
-
-
-def _pipeline_const_fold(gm: GraphModule) -> GraphModule:
-    fold_constants(gm)
-    return gm
-
-
-def _pipeline_normalize(gm: GraphModule) -> GraphModule:
-    normalize_args(gm)
-    return gm
-
-
-def _pipeline_fuse(gm: GraphModule) -> GraphModule:
+def _set_eval(gm: GraphModule) -> None:
     gm.eval()  # fusion folds frozen BN statistics; training mode is an error
-    return fuse_conv_bn(gm)
 
 
-#: Registered pass pipelines, each ``GraphModule -> GraphModule`` on a copy.
+#: Every registered pipeline runs through an instrumented
+#: :class:`~repro.fx.passes.PassManager` with post-pass lint validation on,
+#: so each fuzz iteration exercises the managed driver (metrics, error
+#: context, transform cache) rather than ad-hoc pass composition.
+PASS_MANAGERS: dict[str, PassManager] = {
+    "dce": PassManager([eliminate_dead_code], lint_after_each=True),
+    "cse": PassManager([eliminate_common_subexpressions], lint_after_each=True),
+    "const_fold": PassManager([fold_constants], lint_after_each=True),
+    "normalize": PassManager([normalize_args], lint_after_each=True),
+    "fuse": PassManager([("eval_mode", _set_eval), fuse_conv_bn],
+                        lint_after_each=True),
+}
+
+#: Registered pass pipelines, each ``GraphModule -> GraphModule`` on a copy
+#: (a PassManager is itself callable as a pass — §4.4 composability).
 #: The quantization round-trip is handled separately in :func:`run_oracle`
 #: because it needs the calibration inputs and a looser tolerance.
-PASS_PIPELINES: dict[str, Callable[[GraphModule], GraphModule]] = {
-    "dce": _pipeline_dce,
-    "cse": _pipeline_cse,
-    "const_fold": _pipeline_const_fold,
-    "normalize": _pipeline_normalize,
-    "fuse": _pipeline_fuse,
-}
+PASS_PIPELINES: dict[str, Callable[[GraphModule], GraphModule]] = dict(PASS_MANAGERS)
 
 _PIPELINE_ATOL = {"fuse": FOLD_ATOL}
 

@@ -108,6 +108,43 @@ class TestCode:
         filename = gm.forward.__func__.__code__.co_filename
         assert linecache.getline(filename, 1).startswith("def forward")
 
+    def test_recompile_does_not_leak_linecache_entries(self):
+        """Regression: every recompile() used to register a fresh
+        <fx-generated-N> linecache entry and never evict the old one —
+        unbounded growth under fuzzing/repeated transforms.  Identical
+        graphs now share one cached entry."""
+        import linecache
+
+        gm = symbolic_trace(Net())
+
+        def fx_entries():
+            return sum(1 for k in linecache.cache if k.startswith("<fx-generated"))
+
+        before = fx_entries()
+        for _ in range(50):
+            gm.recompile()
+        assert fx_entries() == before
+
+    def test_linecache_growth_bounded_under_distinct_graphs(self):
+        """Even with distinct graphs, the codegen cache's LRU bound keeps
+        linecache from growing past the cache size."""
+        import linecache
+
+        from repro.fx.graph_module import _CODEGEN_CACHE
+
+        def fx_entries():
+            return sum(1 for k in linecache.cache if k.startswith("<fx-generated"))
+
+        gm = symbolic_trace(lambda x: repro.relu(x))
+        for k in range(_CODEGEN_CACHE.maxsize + 20):
+            out = gm.graph.output_node
+            with gm.graph.inserting_before(out):
+                # growing chain: every iteration is a structurally new graph
+                new = gm.graph.call_function(F.relu, (out.args[0],))
+            out.args = (new,)
+            gm.recompile()
+        assert fx_entries() <= _CODEGEN_CACHE.maxsize + 1
+
 
 class TestToFolder:
     def test_roundtrip_through_disk(self, tmp_path):

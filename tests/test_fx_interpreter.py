@@ -66,6 +66,55 @@ class TestInterpreter:
         )
         assert out.tolist() == [-5.0]
 
+    def test_initial_env_still_garbage_collects(self):
+        """Regression: a pre-seeded node used to skip its GC step, so
+        values whose last use was that node stayed alive forever."""
+
+        def f(x):
+            return repro.relu(x).neg()
+
+        gm = symbolic_trace(f)
+        ph = gm.graph.find_nodes(op="placeholder")[0]
+        relu_node = gm.graph.find_nodes(op="call_function", target=F.relu)[0]
+        interp = Interpreter(gm)
+        out = interp.run(repro.tensor([7.0]),
+                         initial_env={relu_node: repro.tensor([5.0])})
+        assert out.tolist() == [-5.0]
+        # x's last use is the pre-seeded relu node; it must still be freed
+        assert ph not in interp.env
+        live_ops = {n.op for n in interp.env}
+        assert "placeholder" not in live_ops
+
+    def test_initial_env_seeded_output_returns_value(self):
+        """Regression: a pre-seeded output node used to fall through to
+        the 'graph terminated without an output node' error."""
+
+        def f(x):
+            return repro.relu(x)
+
+        gm = symbolic_trace(f)
+        out_node = gm.graph.output_node
+        sentinel = repro.tensor([42.0])
+        result = Interpreter(gm).run(repro.zeros(1), initial_env={out_node: sentinel})
+        assert result.tolist() == [42.0]
+
+    def test_initial_env_frees_inputs_of_seeded_node(self):
+        """The GC step at a pre-seeded node frees that node's inputs."""
+
+        def f(x):
+            y = repro.relu(x)
+            return y.neg()
+
+        gm = symbolic_trace(f)
+        relu_node = gm.graph.find_nodes(op="call_function", target=F.relu)[0]
+        neg_node = gm.graph.find_nodes(op="call_method", target="neg")[0]
+        interp = Interpreter(gm)
+        out = interp.run(repro.tensor([1.0]),
+                         initial_env={neg_node: repro.tensor([-9.0])})
+        assert out.tolist() == [-9.0]
+        # relu's last (and only) use is the seeded neg node; it was freed
+        assert relu_node not in interp.env
+
     def test_override_opcode_handler(self):
         class CountingInterpreter(Interpreter):
             def __init__(self, gm):
@@ -123,3 +172,20 @@ class TestTransformer:
         gm = symbolic_trace(lambda x: repro.relu(x))
         new_gm = DoubleOutput(gm).transform()
         assert float(new_gm(repro.tensor(3.0))) == 6.0
+
+    def test_reuse_rejected(self):
+        """Regression: a second transform() used to re-emit into the
+        consumed graph with stale Proxies instead of failing loudly."""
+        gm = symbolic_trace(lambda x: repro.relu(x))
+        t = Transformer(gm)
+        first = t.transform()
+        assert len(first.graph) == len(gm.graph)
+        with pytest.raises(RuntimeError, match="single-use"):
+            t.transform()
+
+    def test_no_stale_proxies_after_transform(self):
+        """Regression: transform() used to leave self.env full of Proxies."""
+        gm = symbolic_trace(lambda x: repro.relu(x))
+        t = Transformer(gm)
+        t.transform()
+        assert t.env == {}

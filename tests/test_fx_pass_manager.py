@@ -1,0 +1,318 @@
+"""Tests for PassManager, Graph.structural_hash, and the two hash-keyed
+caches (transform cache + codegen cache), including cache invalidation
+under graph mutation."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+import repro
+import repro.functional as F
+from repro import nn
+from repro.fx import (
+    Graph,
+    GraphModule,
+    clear_codegen_cache,
+    codegen_cache_info,
+    symbolic_trace,
+)
+from repro.fx.passes import (
+    PassError,
+    PassManager,
+    TransformCache,
+    eliminate_common_subexpressions,
+    eliminate_dead_code,
+    fold_constants,
+    fuse_conv_bn,
+    normalize_args,
+)
+
+
+def copy_gm(gm):
+    return pickle.loads(pickle.dumps(gm))
+
+
+def trace_with_dead_code():
+    def f(x):
+        unused = x * 3.0  # noqa: F841 — becomes a dead node under tracing
+        y = repro.relu(x)
+        return y + y
+
+    return symbolic_trace(f)
+
+
+class TestStructuralHash:
+    def test_deterministic(self):
+        gm = trace_with_dead_code()
+        assert gm.graph.structural_hash() == gm.graph.structural_hash()
+
+    def test_stable_across_node_renames(self):
+        def build(prefix):
+            g = Graph()
+            x = g.placeholder("x")
+            r = g.create_node("call_function", F.relu, (x,), {}, name=f"{prefix}_r")
+            g.output(r)
+            return g
+
+        assert build("aaa").structural_hash() == build("zzz").structural_hash()
+
+    def test_differs_on_target(self):
+        def build(fn):
+            g = Graph()
+            x = g.placeholder("x")
+            g.output(g.call_function(fn, (x,)))
+            return g
+
+        assert build(F.relu).structural_hash() != build(F.gelu).structural_hash()
+
+    def test_differs_on_opcode_and_topology(self):
+        g1 = Graph()
+        x = g1.placeholder("x")
+        g1.output(g1.call_function(F.relu, (x,)))
+
+        g2 = Graph()
+        x2 = g2.placeholder("x")
+        g2.output(g2.call_method("relu", (x2,)))
+        assert g1.structural_hash() != g2.structural_hash()
+
+        # same nodes, different wiring: relu(x) + x  vs  relu(x) + relu(x)
+        import operator
+
+        def wired(second_arg_is_x):
+            g = Graph()
+            x = g.placeholder("x")
+            r = g.call_function(F.relu, (x,))
+            g.output(g.call_function(operator.add, (r, x if second_arg_is_x else r)))
+            return g
+
+        assert wired(True).structural_hash() != wired(False).structural_hash()
+
+    def test_differs_on_immediate_values(self):
+        def build(k):
+            g = Graph()
+            x = g.placeholder("x")
+            import operator
+
+            g.output(g.call_function(operator.mul, (x, k)))
+            return g
+
+        assert build(2.0).structural_hash() != build(3.0).structural_hash()
+        assert build(2).structural_hash() != build(2.0).structural_hash()
+
+    def test_attr_values_included_when_owned(self):
+        lin1 = nn.Linear(3, 3)
+        lin2 = nn.Linear(3, 3)  # different random init
+        gm1 = symbolic_trace(nn.Sequential(lin1))
+        gm2 = symbolic_trace(nn.Sequential(lin2))
+        assert gm1.graph.structural_hash() != gm2.graph.structural_hash()
+        assert (gm1.graph.structural_hash(include_attrs=False)
+                == gm2.graph.structural_hash(include_attrs=False))
+
+    def test_training_mode_included(self):
+        gm = symbolic_trace(nn.Sequential(nn.Linear(2, 2)))
+        h_train = gm.graph.structural_hash()
+        gm.eval()
+        assert gm.graph.structural_hash() != h_train
+
+    def test_mutation_changes_hash(self):
+        """Satellite: erase/insert/replace must each bust the hash."""
+        gm = trace_with_dead_code()
+        h0 = gm.graph.structural_hash()
+
+        # erase
+        gm.graph.eliminate_dead_code()
+        h_erase = gm.graph.structural_hash()
+        assert h_erase != h0
+
+        # insert
+        relu = gm.graph.find_nodes(op="call_function", target=F.relu)[0]
+        with gm.graph.inserting_after(relu):
+            neg = gm.graph.call_method("neg", (relu,))
+        h_insert = gm.graph.structural_hash()
+        assert h_insert != h_erase
+
+        # replace all uses (rewire)
+        relu.replace_all_uses_with(neg, delete_user_cb=lambda u: u is not neg)
+        assert gm.graph.structural_hash() != h_insert
+
+
+class TestPassManager:
+    def test_runs_pipeline_and_reports(self):
+        gm = trace_with_dead_code()
+        pm = PassManager([eliminate_dead_code, eliminate_common_subexpressions],
+                         lint_after_each=True, cache=False)
+        result = pm.run(gm)
+        assert len(result.records) == 2
+        dce_rec = result.records[0]
+        assert dce_rec.name == "eliminate_dead_code"
+        assert dce_rec.node_delta < 0  # the dead mul was removed
+        assert all(r.wall_time >= 0 for r in result.records)
+        assert all(r.linted for r in result.records)
+        report = result.format()
+        assert "eliminate_dead_code" in report
+        assert "time (ms)" in report
+        assert "total" in report
+
+    def test_named_passes_and_composition(self):
+        gm = symbolic_trace(lambda x: repro.relu(x) + repro.relu(x))
+        inner = PassManager([("my_cse", eliminate_common_subexpressions)], cache=False)
+        outer = PassManager([inner, eliminate_dead_code], cache=False)
+        result = outer.run(gm)
+        x = repro.randn(4)
+        assert np.allclose(result.graph_module(x).data, gm(x).data, atol=1e-6)
+        assert result.records[0].name in ("PassManager", "pass_0")
+
+    def test_error_names_failing_pass(self):
+        def exploding_pass(gm):
+            raise ValueError("boom")
+
+        pm = PassManager([eliminate_dead_code, exploding_pass], cache=False)
+        gm = symbolic_trace(lambda x: repro.relu(x))
+        with pytest.raises(PassError, match=r"pass 1 \('exploding_pass'\).*boom"):
+            pm.run(gm)
+
+    def test_lint_failure_names_pass(self):
+        def corrupting_pass(gm):
+            # wire the output to a node that lives in a different graph
+            other = Graph()
+            foreign = other.placeholder("y")
+            gm.graph.output_node.args = (foreign,)
+
+        pm = PassManager([corrupting_pass], lint_after_each=True, cache=False)
+        gm = symbolic_trace(lambda x: repro.relu(x))
+        with pytest.raises(PassError, match="corrupting_pass.*lint failed"):
+            pm.run(gm)
+
+    def test_requires_graph_module(self):
+        with pytest.raises(TypeError):
+            PassManager([eliminate_dead_code]).run(nn.Linear(2, 2))
+
+    def test_preserves_semantics(self):
+        model = nn.Sequential(nn.Conv2d(3, 4, 3), nn.BatchNorm2d(4), nn.ReLU()).eval()
+        gm = symbolic_trace(model)
+        pm = PassManager(
+            [eliminate_dead_code, eliminate_common_subexpressions,
+             fold_constants, normalize_args, fuse_conv_bn],
+            lint_after_each=True, cache=False)
+        out = pm.run(copy_gm(gm)).graph_module
+        x = repro.randn(1, 3, 8, 8)
+        assert np.allclose(out(x).data, gm(x).data, atol=1e-3)
+
+
+class TestTransformCache:
+    def test_second_run_hits_cache(self):
+        cache = TransformCache()
+        gm = trace_with_dead_code()
+        pm = PassManager([eliminate_dead_code, eliminate_common_subexpressions],
+                         lint_after_each=True, cache=cache)
+        cold = pm.run(copy_gm(gm))
+        assert cold.cache_hits == 0
+        warm = pm.run(copy_gm(gm))
+        assert warm.cache_hits == 2
+        x = repro.randn(3)
+        assert np.allclose(warm.graph_module(x).data,
+                           cold.graph_module(x).data, atol=1e-6)
+
+    def test_cached_replay_does_not_alias(self):
+        cache = TransformCache()
+        gm = trace_with_dead_code()
+        pm = PassManager([eliminate_dead_code], cache=cache)
+        first = pm.run(copy_gm(gm)).graph_module
+        second = pm.run(copy_gm(gm)).graph_module
+        assert first is not second
+        assert first.graph is not second.graph
+
+    def test_graph_mutation_busts_cache(self):
+        """Satellite: a mutated graph must hash differently and miss."""
+        cache = TransformCache()
+        gm = trace_with_dead_code()
+        pm = PassManager([eliminate_common_subexpressions], cache=cache)
+        pm.run(copy_gm(gm))
+
+        mutated = copy_gm(gm)
+        relu = mutated.graph.find_nodes(op="call_function", target=F.relu)[0]
+        with mutated.graph.inserting_after(relu):
+            neg = mutated.graph.call_method("neg", (relu,))
+        relu.replace_all_uses_with(neg, delete_user_cb=lambda u: u is not neg)
+        mutated.recompile()
+        result = pm.run(mutated)
+        assert result.cache_hits == 0
+
+    def test_param_value_change_busts_cache(self):
+        # const_fold bakes parameter values into the graph; the cache key
+        # must therefore include attribute values, not just structure.
+        cache = TransformCache()
+        model = nn.Sequential(nn.Linear(2, 2)).eval()
+        gm = symbolic_trace(model)
+        pm = PassManager([fold_constants], cache=cache)
+        pm.run(copy_gm(gm))
+        gm.get_submodule("0").weight.data[:] = 0.0
+        result = pm.run(copy_gm(gm))
+        assert result.cache_hits == 0
+
+    def test_lru_bound(self):
+        cache = TransformCache(maxsize=1)
+        pm = PassManager([eliminate_dead_code], cache=cache)
+        pm.run(symbolic_trace(lambda x: repro.relu(x)))
+        pm.run(symbolic_trace(lambda x: repro.gelu(x)))
+        assert len(cache) == 1
+
+
+class TestCodegenCache:
+    def test_identical_graphs_share_compiled_forward(self):
+        clear_codegen_cache()
+        before = codegen_cache_info()
+        gm = symbolic_trace(lambda x: repro.relu(x) + 1)
+        gm2 = copy_gm(gm)  # pickle round-trip recompiles an identical graph
+        after = codegen_cache_info()
+        assert after["hits"] > before["hits"]
+        assert gm2.forward.__func__ is gm.forward.__func__
+        x = repro.randn(3)
+        assert np.allclose(gm(x).data, gm2(x).data, atol=1e-6)
+
+    def test_mutation_busts_codegen_cache(self):
+        clear_codegen_cache()
+        gm = symbolic_trace(lambda x: repro.relu(x) + 1)
+        old_forward = gm.forward.__func__
+        relu = gm.graph.find_nodes(op="call_function", target=F.relu)[0]
+        ph = gm.graph.find_nodes(op="placeholder")[0]
+        relu.replace_all_uses_with(ph)
+        gm.graph.erase_node(relu)
+        gm.recompile()
+        assert gm.forward.__func__ is not old_forward
+        assert float(gm(repro.tensor(-2.0))) == -1.0
+
+    def test_recompile_same_graph_reuses_entry(self):
+        clear_codegen_cache()
+        gm = symbolic_trace(lambda x: repro.relu(x))
+        size_before = codegen_cache_info()["size"]
+        for _ in range(10):
+            gm.recompile()
+        assert codegen_cache_info()["size"] == size_before
+
+
+class TestOracleIntegration:
+    def test_pipelines_run_under_pass_manager_with_lint(self):
+        from repro.fx.testing import PASS_MANAGERS, PASS_PIPELINES
+
+        assert set(PASS_PIPELINES) == {"dce", "cse", "const_fold", "normalize", "fuse"}
+        for name, manager in PASS_MANAGERS.items():
+            assert isinstance(manager, PassManager), name
+            assert manager.lint_after_each, f"{name} must lint between passes"
+
+    def test_tier1_smoke_three_pass_pipeline(self):
+        """Satellite: 3-pass pipeline under PassManager with lint on."""
+        model = nn.Sequential(nn.Conv2d(3, 4, 3), nn.BatchNorm2d(4), nn.ReLU()).eval()
+        gm = symbolic_trace(model)
+        pm = PassManager(
+            [eliminate_dead_code, eliminate_common_subexpressions, fuse_conv_bn],
+            lint_after_each=True)
+        result = pm.run(copy_gm(gm))
+        assert len(result.records) == 3
+        assert all(r.cache_hit or r.linted for r in result.records)
+        x = repro.randn(2, 3, 8, 8)
+        assert np.allclose(result.graph_module(x).data, gm(x).data, atol=1e-3)
+        # the fused module collapsed conv+bn into one call
+        assert result.records[-1].node_delta <= 0
+        assert "fuse_conv_bn" in result.format()
