@@ -14,7 +14,7 @@ Public surface mirrors ``torch.fx``:
   everything above.
 """
 
-from .graph import Graph, PythonCode
+from .graph import Graph, PythonCode, UnstableHashError
 from .graph_module import GraphModule, clear_codegen_cache, codegen_cache_info
 from .interpreter import Interpreter, Transformer
 from .node import Node, map_arg, map_aggregate
@@ -37,6 +37,7 @@ __all__ = [
     "Tracer",
     "TracerBase",
     "Transformer",
+    "UnstableHashError",
     "clear_codegen_cache",
     "codegen_cache_info",
     "map_aggregate",

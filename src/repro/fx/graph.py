@@ -24,7 +24,21 @@ from .node import Node, Target, map_arg, map_aggregate, BASE_ARGUMENT_TYPES
 if TYPE_CHECKING:
     from .graph_module import GraphModule
 
-__all__ = ["Graph", "PythonCode"]
+__all__ = ["Graph", "PythonCode", "UnstableHashError"]
+
+
+class UnstableHashError(ValueError):
+    """Raised by :meth:`Graph.structural_hash` with ``require_stable=True``
+    when the hash would have to fall back to ``id()`` for some object.
+
+    An ``id()``-based token is only meaningful while that object is alive:
+    once it is garbage-collected the id can be reused by a different
+    object, so a persisted hash could alias two distinct graphs — and
+    in-place mutation of the object never changes its id, so the hash
+    would go stale silently.  Callers that persist hashes past the
+    lifetime of the hashed objects (e.g. the PassManager transform cache)
+    must therefore refuse to cache such graphs.
+    """
 
 
 @dataclass
@@ -418,7 +432,8 @@ class Graph:
 
     # -- structural hashing ----------------------------------------------------------------
 
-    def structural_hash(self, include_attrs: bool = True) -> str:
+    def structural_hash(self, include_attrs: bool = True,
+                        require_stable: bool = False) -> str:
         """Canonical content hash of the graph (hex SHA-256 digest).
 
         Covers, in topological order: opcodes, call targets, the full
@@ -434,9 +449,25 @@ class Graph:
         which is what makes the hash usable as a transform/codegen cache
         key (see :class:`~repro.fx.passes.pass_manager.PassManager` and
         :meth:`~repro.fx.GraphModule.recompile`).
+
+        With ``require_stable=True`` the hash refuses to use ``id()``
+        fallback tokens (see :class:`UnstableHashError`) and raises
+        instead; use this whenever the hash will outlive the objects it
+        covers, e.g. as a key in a cache that does not pin those objects
+        alive.
         """
         h = hashlib.sha256()
         index: dict[Node, int] = {}
+
+        def token_for(obj: Any) -> str:
+            token = _hash_token_for_object(obj)
+            if require_stable and token.startswith("obj:"):
+                raise UnstableHashError(
+                    f"structural_hash would fall back to id() for "
+                    f"{type(obj).__name__} {obj!r}; the result would not be "
+                    f"stable across garbage collection or in-place mutation"
+                )
+            return token
 
         def feed(token: str) -> None:
             h.update(token.encode("utf-8", "backslashreplace"))
@@ -467,7 +498,7 @@ class Graph:
             elif isinstance(a, BASE_ARGUMENT_TYPES):
                 feed(f"{type(a).__name__}:{a!r}")
             else:
-                feed(_hash_token_for_object(a))
+                feed(token_for(a))
 
         def feed_value(v: Any) -> None:
             from ..tensor import Tensor  # local import: tensor pkg imports are lazy here
@@ -478,7 +509,7 @@ class Graph:
             elif isinstance(v, BASE_ARGUMENT_TYPES):
                 feed(f"{type(v).__name__}:{v!r}")
             else:
-                feed(_hash_token_for_object(v))
+                feed(token_for(v))
 
         def feed_module_state(mod: Any) -> None:
             feed(f"module:{type(mod).__name__}:training={mod.training}")
@@ -493,7 +524,7 @@ class Graph:
         for i, node in enumerate(self.nodes):
             index[node] = i
             feed(node.op)
-            feed(_hash_token_for_object(node.target)
+            feed(token_for(node.target)
                  if not isinstance(node.target, str) else f"s:{node.target}")
             feed_arg(node.args)
             feed_arg(node.kwargs)
@@ -681,7 +712,13 @@ def _hash_token_for_object(obj: Any) -> str:
     to the *same* object get a portable ``mod.qualname`` token (so two
     traces of the same program hash equal).  Everything else — closures,
     lambdas, bound methods, arbitrary instances — falls back to ``id()``,
-    which is process-stable and never aliases two different objects.
+    which is unique only among *live* objects: after the object is
+    garbage-collected its id can be reused, and in-place mutation never
+    changes it.  Hashes containing an ``obj:`` token are therefore only
+    valid while the hashed objects are pinned alive (the codegen cache
+    does this via its stored globals); persistent caches that cannot pin
+    should pass ``require_stable=True`` to :meth:`Graph.structural_hash`
+    and skip caching when it raises.
     """
     name = getattr(obj, "__qualname__", None) or getattr(obj, "__name__", None)
     mod = getattr(obj, "__module__", None)

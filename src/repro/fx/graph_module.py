@@ -237,7 +237,10 @@ class GraphModule(Module):
                 self._evict_private_source()
                 self._code = src
                 object.__setattr__(self, "forward", types.MethodType(fn, self))
-                return PythonCode(src, globals_)
+                # Copy: the cached globals dict must stay pristine for
+                # future hits (and it pins the id()-hashed objects the
+                # cache key refers to), so callers never get the shared one.
+                return PythonCode(src, dict(globals_))
 
         python_code = self._graph.python_code(root_module="self")
         self._evict_private_source()
@@ -248,7 +251,12 @@ class GraphModule(Module):
         fn = globals_["forward"]
         object.__setattr__(self, "forward", types.MethodType(fn, self))
         if key is not None:
-            _CODEGEN_CACHE.put(key, (self._code, fn, python_code.globals, filename))
+            # Store a private copy of the globals table: the returned
+            # python_code.globals belongs to the caller, who may mutate it.
+            # The stored copy also keeps every object the structural hash
+            # tokenized by id() alive for exactly as long as the entry
+            # exists, so the key can never alias a recycled id.
+            _CODEGEN_CACHE.put(key, (self._code, fn, dict(python_code.globals), filename))
         else:
             # Uncached compile: this module owns the linecache entry and
             # must evict it on the next recompile (or leak one per call).

@@ -17,14 +17,21 @@ cannot:
   naming the failing pass and its position in the pipeline;
 * **transform caching** — each pass's input is fingerprinted with
   :meth:`Graph.structural_hash` (attribute values included, so folded
-  weights key correctly); a ``(pass, input-hash)`` pair seen before skips
-  the pass and replays the cached result instead.
+  weights key correctly); a ``(pass identity, input-hash)`` pair seen
+  before skips the pass and replays the cached result instead.
 
 Cached results are stored as pickle bytes and replayed by unpickling, so
 a hit can never alias the module another pipeline run produced; the
 unpickle path itself is cheap because :meth:`GraphModule.recompile` hits
-the structural-hash codegen cache.  Passes whose module fails to pickle
-(e.g. a closure ``call_function`` target) simply run uncached.
+the structural-hash codegen cache.  Caching is strictly best-effort and
+falls back to just running the pass whenever a cache entry could be
+wrong later: passes whose module fails to pickle run uncached, as do
+passes whose *callable* has no stable identity (lambdas, closures, bound
+methods — their only identity is ``id()``, which garbage collection can
+recycle) and graphs whose hash would need an ``id()`` fallback token
+(see :class:`~repro.fx.graph.UnstableHashError`).  The cache key is the
+pass's resolvable ``module.qualname`` — never its display name — so two
+different passes that happen to share a name can't collide.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence, Union
 
+from ..graph import _hash_token_for_object
 from ..graph_module import GraphModule
 
 __all__ = [
@@ -115,16 +123,21 @@ class PassManagerResult:
 @dataclass
 class CacheEntry:
     """One memoized pass result: the output module as pickle bytes plus
-    enough metadata (hash, node count) to chain further lookups without
-    unpickling it."""
+    enough metadata (hash, node count, whether it passed ``lint``) to
+    chain further lookups without unpickling it."""
 
     output_hash: str
     payload: bytes
     node_count: int
+    linted: bool = False
 
 
 class TransformCache:
-    """LRU cache of pass results keyed by ``(pass name, input hash)``.
+    """LRU cache of pass results keyed by ``(pass identity token, input
+    hash)``, where the identity token is the pass callable's resolvable
+    ``module.qualname`` (see ``_pass_cache_token``) — passes without a
+    stable identity are never cached, so same-named passes can't share
+    entries.
 
     Values are :class:`CacheEntry` objects.  Replay unpickles a fresh
     module, so cached results are never shared mutable state — and a run
@@ -177,6 +190,24 @@ def _pass_name(p: Pass, index: int) -> str:
     return name
 
 
+def _pass_cache_token(fn: Pass) -> Optional[str]:
+    """Stable cache identity for a pass callable, or ``None`` if it has
+    none.
+
+    Only callables that re-resolve from their module to the same object
+    (``f:mod.qualname`` tokens) qualify: the token survives garbage
+    collection and distinguishes same-named functions from different
+    modules.  Lambdas, closures, bound methods and callable instances
+    only have ``id()`` identity, which GC can hand to a different object
+    later — caching on it could replay another pass's result — so they
+    return ``None`` and always run uncached.
+    """
+    token = _hash_token_for_object(fn)
+    if token.startswith("obj:"):
+        return None
+    return token
+
+
 class PassManager:
     """Runs an ordered list of passes over a GraphModule.
 
@@ -190,7 +221,11 @@ class PassManager:
         cache: ``True`` (default) to use the process-wide
             :func:`shared_transform_cache`, ``False``/``None`` to disable
             caching, or a :class:`TransformCache` instance for an
-            isolated cache.
+            isolated cache.  Entries are keyed by the pass callable's
+            stable ``module.qualname`` identity, so passes that lack one
+            (lambdas, closures, bound methods) always run uncached —
+            regardless of any display name given via a ``(name, fn)``
+            pair.
 
     Use the *returned* module of :meth:`run`: when a cached result is
     replayed, the input module is left untouched even for passes that
@@ -255,27 +290,44 @@ class PassManager:
             if current_hash is None:
                 assert isinstance(current, GraphModule)
                 current_hash = self._hash(current)
+            cache_token = _pass_cache_token(fn) if self.cache is not None else None
 
-            if self.cache is not None and current_hash:
-                entry = self.cache.lookup((name, current_hash))
+            if self.cache is not None and current_hash and cache_token:
+                entry = self.cache.lookup((cache_token, current_hash))
                 if entry is not None:
+                    hit: Union[GraphModule, bytes] = entry.payload
+                    if self.lint_after_each and not entry.linted:
+                        # The entry was produced by a non-linting manager;
+                        # validate it now so a hit never weakens this
+                        # manager's lint guarantee.
+                        hit = self._materialize(entry.payload)
+                        try:
+                            hit.graph.lint()
+                        except Exception as exc:
+                            raise PassError(
+                                f"pass {index} ({name!r}) cached result is an "
+                                f"invalid graph (lint failed): "
+                                f"{type(exc).__name__}: {exc}"
+                            ) from exc
+                        entry.linted = True
                     records.append(PassRecord(
                         name=name,
                         wall_time=time.perf_counter() - start,
                         nodes_before=current_nodes,
                         nodes_after=entry.node_count,
                         cache_hit=True,
-                        linted=False,  # validated when it was first produced
+                        linted=self.lint_after_each and entry.linted,
                         input_hash=current_hash,
                         output_hash=entry.output_hash,
                     ))
-                    current = entry.payload
+                    current = hit
                     current_hash = entry.output_hash
                     current_nodes = entry.node_count
                     continue
 
             gm = self._materialize(current)
-            gm, record = self._execute(index, name, fn, gm, current_hash, start)
+            gm, record = self._execute(index, name, fn, gm, current_hash,
+                                       cache_token, start)
             records.append(record)
             current, current_hash, current_nodes = gm, record.output_hash or None, len(gm.graph)
 
@@ -294,7 +346,8 @@ class PassManager:
         return current
 
     def _execute(self, index: int, name: str, fn: Pass, gm: GraphModule,
-                 input_hash: Optional[str], start: float) -> tuple[GraphModule, PassRecord]:
+                 input_hash: Optional[str], cache_token: Optional[str],
+                 start: float) -> tuple[GraphModule, PassRecord]:
         nodes_before = len(gm.graph)
         try:
             out = fn(gm)
@@ -317,15 +370,16 @@ class PassManager:
             linted = True
         output_hash = self._hash(gm)
 
-        if self.cache is not None and input_hash and output_hash:
+        if self.cache is not None and input_hash and output_hash and cache_token:
             try:
                 payload = pickle.dumps(gm)
             except Exception:
                 payload = None  # unpicklable target: run this pass uncached
             if payload is not None:
                 self.cache.store(
-                    (name, input_hash),
-                    CacheEntry(output_hash, payload, len(gm.graph)))
+                    (cache_token, input_hash),
+                    CacheEntry(output_hash, payload, len(gm.graph),
+                               linted=linted))
 
         record = PassRecord(
             name=name,
@@ -341,7 +395,11 @@ class PassManager:
 
     @staticmethod
     def _hash(gm: GraphModule) -> str:
+        # require_stable: this hash keys a cache that outlives the graph's
+        # objects without pinning them, so an id()-fallback token could
+        # alias a different graph after GC — refuse to cache instead.
         try:
-            return gm.graph.structural_hash(include_attrs=True)
+            return gm.graph.structural_hash(include_attrs=True,
+                                            require_stable=True)
         except Exception:
             return ""  # unhashable graph: disable caching for this stage

@@ -13,6 +13,7 @@ from repro import nn
 from repro.fx import (
     Graph,
     GraphModule,
+    UnstableHashError,
     clear_codegen_cache,
     codegen_cache_info,
     symbolic_trace,
@@ -258,6 +259,87 @@ class TestTransformCache:
         pm.run(symbolic_trace(lambda x: repro.gelu(x)))
         assert len(cache) == 1
 
+    def test_same_display_name_distinct_lambdas_do_not_collide(self):
+        """Regression: two different lambdas both auto-name to 'pass_0';
+        the second manager must run its own transform, not replay the
+        first one's cached result."""
+        cache = TransformCache()
+        gm = trace_with_dead_code()
+        n0 = len(gm.graph)
+
+        noop = PassManager([lambda g: None], cache=cache)
+        noop.run(copy_gm(gm))
+
+        dce = PassManager([lambda g: eliminate_dead_code(g)], cache=cache)
+        result = dce.run(copy_gm(gm))
+        assert result.cache_hits == 0
+        assert len(result.graph_module.graph) < n0  # DCE actually ran
+        # lambdas have no stable identity, so neither manager cached anything
+        assert len(cache) == 0
+
+    def test_named_lambda_pass_still_uncached(self):
+        # A (name, fn) display name must not make an id()-identity
+        # callable cacheable.
+        cache = TransformCache()
+        pm = PassManager([("dce", lambda g: eliminate_dead_code(g))], cache=cache)
+        pm.run(trace_with_dead_code())
+        assert len(cache) == 0
+        assert pm.last_result.records[0].name == "dce"
+
+    def test_stable_passes_cache_across_managers(self):
+        # Module-level passes share entries across managers via their
+        # module.qualname identity, independent of display names.
+        cache = TransformCache()
+        gm = trace_with_dead_code()
+        PassManager([eliminate_dead_code], cache=cache).run(copy_gm(gm))
+        result = PassManager([("renamed", eliminate_dead_code)],
+                             cache=cache).run(copy_gm(gm))
+        assert result.cache_hits == 1
+
+    def test_hit_from_unlinted_entry_is_relinted(self):
+        """Regression: a lint_after_each manager must not accept a cached
+        entry produced by a non-linting manager without validating it."""
+        cache = TransformCache()
+        gm = trace_with_dead_code()
+        producer = PassManager([eliminate_dead_code], lint_after_each=False,
+                               cache=cache)
+        producer.run(copy_gm(gm))
+        (entry,) = cache._entries.values()
+        assert not entry.linted
+
+        consumer = PassManager([eliminate_dead_code], lint_after_each=True,
+                               cache=cache)
+        result = consumer.run(copy_gm(gm))
+        rec = result.records[0]
+        assert rec.cache_hit and rec.linted
+        assert entry.linted  # validated in place; later hits skip the re-lint
+
+        # a non-linting manager's hit still reports no lint
+        again = producer.run(copy_gm(gm))
+        assert again.records[0].cache_hit and not again.records[0].linted
+
+    def test_unstable_graph_hash_disables_caching(self):
+        """Regression: id()-hashed targets must not key persistent cache
+        entries — the id can be recycled after GC."""
+
+        class CallableTarget:
+            def __call__(self, x):
+                return x
+
+        target = CallableTarget()
+        g = Graph()
+        x = g.placeholder("x")
+        g.output(g.call_function(target, (x,)))
+        with pytest.raises(UnstableHashError):
+            g.structural_hash(require_stable=True)
+        assert g.structural_hash()  # default mode still hashes
+
+        cache = TransformCache()
+        gm = GraphModule({}, g)
+        result = PassManager([eliminate_dead_code], cache=cache).run(gm)
+        assert result.cache_hits == 0
+        assert len(cache) == 0
+
 
 class TestCodegenCache:
     def test_identical_graphs_share_compiled_forward(self):
@@ -290,6 +372,25 @@ class TestCodegenCache:
         for _ in range(10):
             gm.recompile()
         assert codegen_cache_info()["size"] == size_before
+
+    def test_returned_globals_are_private_copies(self):
+        """Regression: mutating the PythonCode.globals a recompile returns
+        (miss or hit path) must not corrupt future cache hits."""
+        gm = symbolic_trace(lambda x: repro.relu(x) + 1)
+        clear_codegen_cache()
+        pc_miss = gm.recompile()  # repopulates the cache via the miss path
+        keys = set(pc_miss.globals)
+        assert keys
+        pc_miss.globals.clear()
+
+        pc_hit = gm.recompile()
+        assert set(pc_hit.globals) == keys
+        pc_hit.globals.clear()
+
+        pc_hit2 = gm.recompile()
+        assert set(pc_hit2.globals) == keys
+        assert pc_hit2.globals is not pc_hit.globals
+        assert float(gm(repro.tensor(-2.0))) == 1.0
 
 
 class TestOracleIntegration:
