@@ -8,6 +8,8 @@ Public surface mirrors ``torch.fx``:
 * :class:`Interpreter` / :class:`Transformer` — graph execution and
   rewriting;
 * :func:`replace_pattern` — declarative subgraph rewriting;
+* :func:`compile` — one-call optimizing pipeline (pointwise fusion +
+  memory planning, §6.2);
 * :mod:`repro.fx.passes` — shape propagation, fusion, splitting,
   visualization, cost modelling, scheduling;
 * :mod:`repro.fx.testing` — differential testing and graph fuzzing of
@@ -22,10 +24,12 @@ from .proxy import Attribute, Proxy, TraceError
 from .subgraph_rewriter import Match, replace_pattern
 from .tracer import Tracer, TracerBase, symbolic_trace, wrap
 from . import passes
+from .compiler import CompileReport, compile  # noqa: A004 - mirrors torch.compile
 from . import testing
 
 __all__ = [
     "Attribute",
+    "CompileReport",
     "Graph",
     "GraphModule",
     "Interpreter",
@@ -40,6 +44,7 @@ __all__ = [
     "UnstableHashError",
     "clear_codegen_cache",
     "codegen_cache_info",
+    "compile",
     "map_aggregate",
     "map_arg",
     "passes",

@@ -677,21 +677,30 @@ class Graph:
                 )
                 continue
             if node.op == "call_function":
+                # Memory-planned nodes receive their arena slot as out=
+                # (see passes.memory_planner), which rules out the inline
+                # operator/getattr renderings below.
+                slot = node.meta.get("arena_slot")
                 fmt = _MAGIC_FORMATS.get(node.target)
-                if fmt is not None and not node.kwargs:
+                if fmt is not None and not node.kwargs and slot is None:
                     rendered = fmt.format(*[arg_repr(a) for a in node.args])
                     body.append(f"{node.name} = {rendered}{delete_unused(node)}\n")
                     continue
                 if node.target is getattr and len(node.args) == 2 and isinstance(
                     node.args[1], str
-                ) and node.args[1].isidentifier() and not node.kwargs:
+                ) and node.args[1].isidentifier() and not node.kwargs and slot is None:
                     body.append(
                         f"{node.name} = {arg_repr(node.args[0])}.{node.args[1]}"
                         f"{delete_unused(node)}\n"
                     )
                     continue
                 fname = add_global(_global_name_for(node.target), node.target)
-                body.append(f"{node.name} = {fname}({call_args(node)}){delete_unused(node)}\n")
+                rendered_args = call_args(node)
+                if slot is not None:
+                    out_name = add_global(f"_slot{getattr(slot, 'index', 0)}", slot)
+                    rendered_args = (f"{rendered_args}, out = {out_name}"
+                                     if rendered_args else f"out = {out_name}")
+                body.append(f"{node.name} = {fname}({rendered_args}){delete_unused(node)}\n")
                 continue
             if node.op == "output":
                 body.append(f"return {arg_repr(node.args[0])}\n")

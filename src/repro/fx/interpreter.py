@@ -48,6 +48,32 @@ class Interpreter:
                 map_arg(node.kwargs, register)
             for used, user in node_to_last_use.items():
                 self.user_to_last_uses.setdefault(user, []).append(used)
+        # Precomputed per-node dispatch: one getattr per node per *run* is
+        # pure overhead, so resolve each node's opcode handler (including
+        # subclass overrides) once at construction.  Nodes added to the
+        # graph afterwards fall back to dynamic dispatch in run_node.
+        self._node_handlers: dict[Node, Any] = {
+            node: self._resolve_handler(node) for node in module.graph.nodes
+        }
+
+    def _resolve_handler(self, node: Node) -> Any:
+        handler = getattr(self, node.op)
+        slot = node.meta.get("arena_slot")
+        if (
+            slot is not None
+            and node.op == "call_function"
+            and self.garbage_collect_values
+            and type(self).call_function is Interpreter.call_function
+        ):
+            # Memory-planned node (see passes.memory_planner): route the
+            # arena slot in as out= so interpretation reuses buffers like
+            # the generated code does.  Only safe when intermediates are
+            # garbage-collected (a retained env value would be clobbered
+            # on slot reuse) and only for the stock call_function handler
+            # (an override is not expecting a surprise kwarg).
+            def handler(target, args, kwargs, _slot=slot):
+                return target(*args, **kwargs, out=_slot)
+        return handler
 
     def run(self, *args, initial_env: Optional[dict[Node, Any]] = None) -> Any:
         """Run the graph with *args* bound to the placeholders, returning
@@ -71,7 +97,10 @@ class Interpreter:
     def run_node(self, n: Node) -> Any:
         """Dispatch one node to its opcode handler."""
         args, kwargs = self.fetch_args_kwargs_from_env(n)
-        return getattr(self, n.op)(n.target, args, kwargs)
+        handler = self._node_handlers.get(n)
+        if handler is None:  # node created after this Interpreter was built
+            handler = getattr(self, n.op)
+        return handler(n.target, args, kwargs)
 
     # -- opcode handlers ----------------------------------------------------------
 

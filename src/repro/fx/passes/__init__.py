@@ -11,11 +11,15 @@ Each submodule corresponds to a capability the paper evaluates or cites:
 * :mod:`.cse` / :mod:`.dce` — classic cleanups made trivial by the
   basic-block IR (§5.5);
 * :mod:`.pass_manager` — instrumented pipeline driver with per-pass
-  metrics, lint validation, and structural-hash transform caching (§4.4).
+  metrics, lint validation, and structural-hash transform caching (§4.4);
+* :mod:`.pointwise_fuser` / :mod:`.memory_planner` — pointwise-region
+  fusion into generated kernels and liveness-based buffer pooling, the
+  optimization backend of :func:`repro.fx.compile` (§6.2).
 """
 
 from . import const_fold, cost_model, cse, dce, fuser, graph_drawer, net_min
-from . import normalize, pass_manager, profiler, scheduler, shape_prop
+from . import memory_planner, normalize, pass_manager, pointwise_fuser
+from . import profiler, scheduler, shape_prop
 from . import symbolic_shape_prop, type_check
 from . import split_module as split_module_pass
 from . import splitter
@@ -44,13 +48,36 @@ from .cse import eliminate_common_subexpressions
 from .dce import eliminate_dead_code
 from .fuser import fuse_conv_bn, fuse_conv_bn_weights
 from .graph_drawer import FxGraphDrawer, graph_to_dot
+from .memory_planner import Arena, ArenaSlot, MemoryPlan, plan_memory
+from .pointwise_fuser import (
+    FusedKernel,
+    FusedSpec,
+    FusedStep,
+    OpDef,
+    fuse_pointwise,
+    pointwise_registry,
+    register_pointwise_op,
+)
 from .scheduler import Schedule, ScheduledOp, pipeline_schedule
 from .shape_prop import ShapeProp, TensorMetadata
 from .split_module import Partition, split_module
 from .splitter import SplitResult, split_by_support
 
 __all__ = [
+    "Arena",
+    "ArenaSlot",
     "CostReport",
+    "FusedKernel",
+    "FusedSpec",
+    "FusedStep",
+    "MemoryPlan",
+    "OpDef",
+    "fuse_pointwise",
+    "memory_planner",
+    "plan_memory",
+    "pointwise_fuser",
+    "pointwise_registry",
+    "register_pointwise_op",
     "DivergenceReport",
     "ShapeInferenceError",
     "SymDim",

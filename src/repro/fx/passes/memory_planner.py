@@ -1,0 +1,364 @@
+"""Liveness-based memory planning: reuse dead intermediate buffers.
+
+The generated forward allocates a fresh array for every intermediate
+value.  This pass runs a liveness analysis over the graph (the same
+last-use computation :class:`~repro.fx.interpreter.Interpreter` uses for
+garbage collection, extended across aliasing ops) and assigns eligible
+intermediates to slots in a pooled :class:`Arena` keyed on
+``(shape, dtype)``.  A slot is handed back to the pool the moment its
+value dies, so a graph with N same-shaped intermediates typically touches
+only as many buffers as are ever simultaneously live.
+
+Planning is deliberately conservative:
+
+* Only outputs of :class:`~repro.fx.passes.pointwise_fuser.FusedKernel`
+  nodes are placed in the arena — those are the only targets that accept
+  an ``out=`` destination, and their generated kernels are alias-safe by
+  construction (so a node may even write into a dying operand's buffer).
+* A value reachable from the graph output — directly or through any
+  chain of aliasing ops (``reshape``, ``getitem``, ``transpose``, …) —
+  **escapes** and is never planned: its storage must survive the call.
+* Liveness is *alias-extended*: if a user may return a view of its input
+  (unknown callables are conservatively assumed to), the input's buffer
+  stays live until the view itself dies.  A pooled buffer is therefore
+  never reclaimed while any alias of it can still be read.
+
+The plan is recorded as ``node.meta["arena_slot"]``;
+``Graph.python_code`` emits ``out=<slot>`` for planned calls and
+``GraphModule.recompile`` keys its codegen cache on the slot assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from ..graph_module import GraphModule
+from ..node import Node
+from .pointwise_fuser import FusedKernel
+from .shape_prop import TensorMetadata
+
+__all__ = ["Arena", "ArenaSlot", "MemoryPlan", "plan_memory"]
+
+
+class Arena:
+    """A pool of lazily materialized numpy buffers.
+
+    Slots are created at plan time as ``(shape, dtype-name)`` specs; the
+    actual arrays are allocated on first use and retained for the
+    lifetime of the arena (i.e. of the compiled module), so steady-state
+    forward calls perform no allocations for planned intermediates.
+    """
+
+    def __init__(self, specs: tuple = ()):
+        self.specs: list[tuple[tuple, str]] = list(specs)
+        self._buffers: dict[int, np.ndarray] = {}
+        self.materializations = 0
+
+    def add_slot(self, shape: tuple, dtype_name: str) -> int:
+        self.specs.append((tuple(shape), dtype_name))
+        return len(self.specs) - 1
+
+    def materialize(self, index: int) -> np.ndarray:
+        buf = self._buffers.get(index)
+        if buf is None:
+            shape, dtype_name = self.specs[index]
+            buf = np.empty(shape, np.dtype(dtype_name))
+            self._buffers[index] = buf
+            self.materializations += 1
+        return buf
+
+    def nbytes(self) -> int:
+        return sum(int(np.prod(shape, dtype=np.int64)) * np.dtype(d).itemsize
+                   for shape, d in self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __getstate__(self):
+        # Buffers are scratch state; a pickled plan rematerializes lazily.
+        return {"specs": self.specs}
+
+    def __setstate__(self, state):
+        self.specs = state["specs"]
+        self._buffers = {}
+        self.materializations = 0
+
+    def __repr__(self) -> str:
+        return f"<Arena {len(self.specs)} slots, {self.nbytes()} bytes>"
+
+
+class ArenaSlot:
+    """A handle to one arena buffer, passed as ``out=`` in generated code."""
+
+    __slots__ = ("arena", "index")
+
+    def __init__(self, arena: Arena, index: int):
+        self.arena = arena
+        self.index = index
+
+    def materialize(self) -> np.ndarray:
+        return self.arena.materialize(self.index)
+
+    def __repr__(self) -> str:
+        shape, dtype = self.arena.specs[self.index]
+        return f"<ArenaSlot {self.index}: {shape} {dtype}>"
+
+
+@dataclass
+class MemoryPlan:
+    """Report of one planning run (picklable; buffers excluded).
+
+    Attributes:
+        planned: number of intermediates assigned to the arena.
+        reuse_count: allocation requests served by reusing a dead slot.
+        slots: distinct buffers backing all planned intermediates.
+        arena_nbytes: steady-state bytes held by the arena.
+        peak_before: peak simultaneously-live intermediate bytes had every
+            value received a private allocation.
+        peak_after: same peak with planned values sharing arena slots.
+        arena: the backing :class:`Arena`.
+    """
+
+    planned: int
+    reuse_count: int
+    slots: int
+    arena_nbytes: int
+    peak_before: int
+    peak_after: int
+    arena: Optional[Arena] = field(default=None, repr=False)
+
+    def format(self) -> str:
+        saved = self.peak_before - self.peak_after
+        pct = (100.0 * saved / self.peak_before) if self.peak_before else 0.0
+        return (
+            f"memory plan: {self.planned} intermediates -> {self.slots} arena "
+            f"slots ({self.arena_nbytes} bytes), {self.reuse_count} reuses; "
+            f"peak live bytes {self.peak_before} -> {self.peak_after} "
+            f"({pct:.1f}% saved)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# alias classification
+# ---------------------------------------------------------------------------
+
+# repro.functional callables whose result NEVER shares storage with a
+# tensor argument.  Anything not provably fresh is treated as aliasing.
+_FRESH_FUNCTION_NAMES = frozenset({
+    "add", "sub", "mul", "div", "neg", "pow", "matmul", "mm", "bmm",
+    "exp", "log", "sqrt", "rsqrt", "abs", "sin", "cos", "sign", "erf",
+    "clamp", "round", "floor", "where", "maximum", "minimum",
+    "relu", "relu6", "leaky_relu", "elu", "selu", "gelu", "silu", "mish",
+    "sigmoid", "tanh", "hardtanh", "hardsigmoid", "hardswish", "softplus",
+    "softmax", "log_softmax", "linear", "conv1d", "conv2d",
+    "conv_transpose2d", "batch_norm", "layer_norm", "group_norm",
+    "max_pool2d", "avg_pool2d", "adaptive_avg_pool2d", "interpolate",
+    "embedding", "embedding_bag", "one_hot", "cat", "stack", "pad",
+    "sum", "mean", "var", "amax", "amin", "argmax", "cumsum", "topk",
+    "mse_loss", "l1_loss", "nll_loss", "cross_entropy",
+    "binary_cross_entropy",
+})
+
+_FRESH_METHODS = frozenset({
+    "add", "sub", "mul", "div", "neg", "abs", "pow", "matmul", "mm", "bmm",
+    "exp", "log", "sqrt", "rsqrt", "reciprocal", "sin", "cos", "tanh",
+    "erf", "sigmoid", "relu", "gelu", "clamp", "clamp_min", "round",
+    "floor", "sign", "softmax", "sum", "mean", "var", "amax", "amin",
+    "argmax", "cumsum", "topk", "to", "float", "long", "int", "bool",
+    "clone", "copy",
+})
+
+_FRESH_MODULE_NAMES = frozenset({
+    "Linear", "Conv1d", "Conv2d", "ConvTranspose2d",
+    "BatchNorm1d", "BatchNorm2d", "LayerNorm", "GroupNorm",
+    "MaxPool2d", "AvgPool2d", "AdaptiveAvgPool2d", "Upsample",
+    "ReLU", "ReLU6", "LeakyReLU", "ELU", "SELU", "GELU", "SiLU", "Mish",
+    "Sigmoid", "Tanh", "Hardtanh", "Hardsigmoid", "Hardswish", "Softplus",
+    "Softmax", "LogSoftmax", "Embedding", "EmbeddingBag",
+    "MultiheadAttention", "MSELoss", "BCELoss", "CrossEntropyLoss",
+})
+
+
+def _is_repro_functional(fn: Any) -> bool:
+    return getattr(fn, "__module__", "") in ("repro.functional",)
+
+
+def _may_alias(node: Node, gm: GraphModule) -> bool:
+    """May *node*'s output share storage with one of its tensor inputs?
+
+    Conservative: unknown targets alias.  ``reshape``/``transpose``/
+    ``getitem``/``dropout`` (eval) and friends genuinely return views in
+    the numpy substrate.
+    """
+    if node.op in ("placeholder", "get_attr", "output"):
+        return False
+    if node.op == "call_function":
+        target = node.target
+        if isinstance(target, FusedKernel):
+            return False
+        name = getattr(target, "__name__", "")
+        if _is_repro_functional(target):
+            return name not in _FRESH_FUNCTION_NAMES
+        mod = getattr(target, "__module__", "")
+        if mod in ("_operator", "operator"):
+            # getitem (tuple indexing / tensor slicing) aliases; the
+            # arithmetic operators allocate fresh ndarrays.
+            return name == "getitem"
+        return True
+    if node.op == "call_method":
+        return node.target not in _FRESH_METHODS
+    if node.op == "call_module":
+        try:
+            submod = gm.get_submodule(node.target)
+        except Exception:
+            return True
+        return type(submod).__name__ not in _FRESH_MODULE_NAMES
+    return True
+
+
+def _leaf_meta(node: Node) -> Optional[TensorMetadata]:
+    meta = node.meta.get("tensor_meta")
+    return meta if isinstance(meta, TensorMetadata) else None
+
+
+# ---------------------------------------------------------------------------
+# the pass
+# ---------------------------------------------------------------------------
+
+
+def plan_memory(gm: GraphModule) -> MemoryPlan:
+    """Assign fused-kernel intermediates of ``gm.graph`` to a pooled arena.
+
+    Mutates *gm* in place (stamps ``node.meta["arena_slot"]`` and
+    recompiles) and returns the :class:`MemoryPlan`.  Requires shape
+    metadata on the planned nodes; nodes without it are skipped.
+    """
+    graph = gm.graph
+    nodes = list(graph.nodes)
+    order = {n: i for i, n in enumerate(nodes)}
+    last_step = len(nodes) - 1
+
+    for n in nodes:
+        n.meta.pop("arena_slot", None)
+
+    # Alias-extended liveness: a value stays live until the last read of
+    # itself or of any (transitive) view of it.
+    extended_last: dict[Node, int] = {}
+    for n in reversed(nodes):
+        last = order[n]
+        for u in n.users:
+            last = max(last, order[u])
+            if _may_alias(u, gm):
+                last = max(last, extended_last.get(u, order[u]))
+        extended_last[n] = last
+
+    # Escape analysis: anything the caller can still see after `forward`
+    # returns — the output values plus, through aliasing ops, whatever
+    # they might be views of.
+    escapes: set[Node] = set()
+    stack: list[Node] = []
+    for n in nodes:
+        if n.op == "output":
+            stack.extend(n.all_input_nodes)
+    while stack:
+        n = stack.pop()
+        if n in escapes:
+            continue
+        escapes.add(n)
+        if _may_alias(n, gm):
+            stack.extend(n.all_input_nodes)
+
+    def plannable(n: Node) -> bool:
+        return (
+            n.op == "call_function"
+            and isinstance(n.target, FusedKernel)
+            and n not in escapes
+            and bool(n.users)
+            and _leaf_meta(n) is not None
+        )
+
+    dying_at: dict[int, list[Node]] = {}
+    for n in nodes:
+        if plannable(n):
+            dying_at.setdefault(extended_last[n], []).append(n)
+
+    arena = Arena()
+    pool: dict[tuple, list[int]] = {}
+    slot_of: dict[Node, int] = {}
+    reuse_count = 0
+    for i, n in enumerate(nodes):
+        # Values whose last (alias-extended) read is this very step free
+        # their slots *before* this node's output slot is chosen: fused
+        # kernels are alias-safe, so writing into a dying operand's
+        # buffer is allowed and maximizes reuse.
+        for dead in dying_at.get(i, ()):
+            if dead is not n:
+                meta = _leaf_meta(dead)
+                key = (tuple(meta.shape), meta.dtype.name)
+                pool.setdefault(key, []).append(slot_of[dead])
+        if not plannable(n):
+            continue
+        meta = _leaf_meta(n)
+        key = (tuple(meta.shape), meta.dtype.name)
+        avail = pool.get(key)
+        if avail:
+            idx = avail.pop()
+            reuse_count += 1
+        else:
+            idx = arena.add_slot(tuple(meta.shape),
+                                 np.dtype(meta.dtype.np_dtype).name)
+        slot_of[n] = idx
+        n.meta["arena_slot"] = ArenaSlot(arena, idx)
+
+    # -- peak-liveness accounting (diff-array sweep over node steps) --------
+    def sweep(intervals: list[tuple[int, int, int]]) -> int:
+        diff = [0] * (last_step + 2)
+        for start, end, nbytes in intervals:
+            diff[start] += nbytes
+            diff[end + 1] -= nbytes
+        peak = live = 0
+        for d in diff:
+            live += d
+            peak = max(peak, live)
+        return peak
+
+    def value_intervals(include_planned: bool) -> list[tuple[int, int, int]]:
+        out = []
+        for n in nodes:
+            if n.op in ("placeholder", "get_attr", "output"):
+                continue
+            meta = _leaf_meta(n)
+            if meta is None:
+                continue
+            if not include_planned and n in slot_of:
+                continue
+            end = last_step if n in escapes else extended_last[n]
+            out.append((order[n], end, meta.nbytes))
+        return out
+
+    peak_before = sweep(value_intervals(include_planned=True))
+    after = value_intervals(include_planned=False)
+    # Arena buffers persist from their first materialization onward.
+    first_use: dict[int, int] = {}
+    for n, idx in slot_of.items():
+        first_use[idx] = min(first_use.get(idx, order[n]), order[n])
+    for idx, start in first_use.items():
+        shape, dtype_name = arena.specs[idx]
+        nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype_name).itemsize
+        after.append((start, last_step, nbytes))
+    peak_after = sweep(after)
+
+    if slot_of:
+        gm.recompile()
+    return MemoryPlan(
+        planned=len(slot_of),
+        reuse_count=reuse_count,
+        slots=len(arena),
+        arena_nbytes=arena.nbytes(),
+        peak_before=peak_before,
+        peak_after=peak_after,
+        arena=arena,
+    )

@@ -16,7 +16,11 @@ executes:
    instrumented :class:`~repro.fx.passes.PassManager` with post-pass
    ``graph.lint()`` validation enabled, so every fuzz iteration also
    exercises the managed pass driver and its structural-hash transform
-   cache.
+   cache; and
+6. the full **optimizing compiler** (``repro.fx.compile``: pointwise
+   fusion + memory planning), executed twice so that arena-buffer reuse
+   across calls is exercised — fusion and planning must be
+   semantics-preserving on every generated program.
 
 Any disagreement beyond tolerance, lint failure, or exception is recorded
 as a failing :class:`CheckOutcome`.  Numeric divergences additionally get a
@@ -277,9 +281,52 @@ def run_oracle(program: GeneratedProgram, localize: bool = True) -> OracleReport
         check_numeric(name, lambda t=transformed: t(*inputs),
                       _PIPELINE_ATOL.get(name, EXACT_ATOL), transformed=transformed)
 
+    # -- the full optimizing compiler --------------------------------------
+    _check_compile(report, gm, inputs, ref, scale, localize)
+
     # -- quantization round-trip -------------------------------------------
     _check_quantization(report, gm, inputs, ref, scale, localize)
     return report
+
+
+def _check_compile(report: OracleReport, gm: GraphModule, inputs: tuple,
+                   ref: Any, scale: float, localize: bool) -> None:
+    """``repro.fx.compile`` must be semantics-preserving on every program.
+
+    Runs the compiled module twice: the second call reuses already-
+    materialized arena buffers, so any unsound slot assignment (buffer
+    clobbered while an alias was live) shows up as run-to-run divergence.
+    """
+    from ..compiler import compile as fx_compile
+
+    try:
+        compiled = fx_compile(_copy_gm(gm), inputs, lint=True)
+        compiled.graph.lint()
+        out1 = compiled(*inputs)
+        out2 = compiled(*inputs)
+    except Exception as exc:
+        report.outcomes.append(CheckOutcome("compile", False, _exc_summary(exc)))
+        return
+    rerr = max_abs_diff(out1, out2)
+    if rerr > 0.0:
+        report.outcomes.append(CheckOutcome(
+            "compile", False,
+            f"compiled module is not deterministic across calls "
+            f"(arena reuse bug): {rerr:.3g}", max_err=rerr))
+        return
+    # Training-mode programs skip conv-bn folding, so the pipeline is
+    # numerically exact; eval-mode programs may fold BN (re-associated
+    # float math) and get the fold tolerance.
+    atol = EXACT_ATOL if gm.training else FOLD_ATOL
+    err = max_abs_diff(ref, out1)
+    tol = atol * (1.0 + scale)
+    if err <= tol:
+        report.outcomes.append(CheckOutcome("compile", True, max_err=err))
+        return
+    div = _localize(gm, compiled, inputs, tol) if localize else None
+    report.outcomes.append(CheckOutcome(
+        "compile", False, f"numeric divergence {err:.3g} > tol {tol:.3g}",
+        max_err=err, divergence=div))
 
 
 def _check_quantization(report: OracleReport, gm: GraphModule, inputs: tuple,

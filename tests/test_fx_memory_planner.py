@@ -1,0 +1,221 @@
+"""Tests for liveness-based memory planning (passes.memory_planner),
+including the aliasing edge cases: escaping outputs, live views, and the
+``garbage_collect_values=False`` interpreter interaction."""
+
+import numpy as np
+
+import repro
+import repro.functional as F
+from repro import nn
+from repro.fx import Interpreter, symbolic_trace
+from repro.fx.passes import ShapeProp, plan_memory
+from repro.fx.passes.pointwise_fuser import FusedKernel, fuse_pointwise
+
+
+def _prepare(module, *inputs):
+    gm = symbolic_trace(module)
+    ShapeProp(gm).propagate(*inputs)
+    fuse_pointwise(gm)
+    ShapeProp(gm).propagate(*inputs)
+    return gm
+
+
+def _fused_nodes(gm):
+    return [n for n in gm.graph.nodes
+            if n.op == "call_function" and isinstance(n.target, FusedKernel)]
+
+
+class ChainModel(nn.Module):
+    """Four same-shape fused intermediates separated by matmuls."""
+
+    def forward(self, x):
+        for _ in range(4):
+            t = F.sigmoid(F.relu(x) * 2.0)
+            x = F.matmul(t, t)
+        return x
+
+
+class TestPlanning:
+    def test_intermediates_share_one_slot(self):
+        m = ChainModel()
+        x = repro.randn(8, 8)
+        ref = m(x)
+        gm = _prepare(m, x)
+        plan = plan_memory(gm)
+        assert plan.planned == 4
+        assert plan.slots == 1
+        assert plan.reuse_count == 3
+        assert plan.arena_nbytes == 8 * 8 * 4
+        assert "out = " in gm.code
+        assert np.array_equal(gm(x).data, ref.data)
+        assert np.array_equal(gm(x).data, ref.data)  # second call reuses buffers
+
+    def test_arena_buffers_materialize_lazily_once(self):
+        m = ChainModel()
+        x = repro.randn(4, 4)
+        gm = _prepare(m, x)
+        plan = plan_memory(gm)
+        assert plan.arena.materializations == 0
+        gm(x)
+        assert plan.arena.materializations == 1
+        gm(x)
+        assert plan.arena.materializations == 1  # steady state: no allocations
+
+    def test_report_fields_and_format(self):
+        gm = _prepare(ChainModel(), repro.randn(4, 4))
+        plan = plan_memory(gm)
+        assert plan.peak_before > 0 and plan.peak_after > 0
+        text = plan.format()
+        assert "4 intermediates" in text and "1 arena slots" in text
+
+    def test_plan_is_idempotent(self):
+        x = repro.randn(4, 4)
+        gm = _prepare(ChainModel(), x)
+        p1 = plan_memory(gm)
+        p2 = plan_memory(gm)  # re-plan clears old slots first
+        assert (p1.planned, p1.slots) == (p2.planned, p2.slots)
+        assert np.array_equal(gm(x).data, ChainModel()(x).data)
+
+
+class TestEscapeAnalysis:
+    def test_graph_output_never_planned(self):
+        class M(nn.Module):
+            def forward(self, x):
+                return F.relu(x) * 2.0  # fused region IS the output
+
+        x = repro.randn(3, 3)
+        gm = _prepare(M(), x)
+        plan = plan_memory(gm)
+        assert plan.planned == 0
+        assert _fused_nodes(gm)[0].meta.get("arena_slot") is None
+
+    def test_region_input_returned_alongside_result(self):
+        # A fused value that feeds later computation AND is returned must
+        # keep private storage: a second call must not clobber the tensor
+        # the first call handed out.
+        class M(nn.Module):
+            def forward(self, x):
+                u = F.sigmoid(F.relu(x) * 2.0)   # fused; escapes via output
+                t = F.relu(F.matmul(u, u)) + 1.0  # fused; plannable
+                m2 = F.matmul(t, t)
+                return u, m2
+
+        m = M()
+        x1, x2 = repro.randn(6, 6), repro.randn(6, 6)
+        gm = _prepare(m, x1)
+        plan = plan_memory(gm)
+        names = {n.name for n in gm.graph.nodes if n.meta.get("arena_slot")}
+        assert plan.planned == 1 and len(names) == 1
+        u1, _ = gm(x1)
+        u1_saved = u1.data.copy()
+        gm(x2)  # may reuse arena buffers, must not touch u1
+        assert np.array_equal(u1.data, u1_saved)
+        ref_u, ref_m = m(x1)
+        out_u, out_m = gm(x1)
+        assert np.array_equal(out_u.data, ref_u.data)
+        assert np.array_equal(out_m.data, ref_m.data)
+
+    def test_output_through_alias_chain_escapes(self):
+        class M(nn.Module):
+            def forward(self, x):
+                t = F.sigmoid(x) + 1.0         # fused
+                return F.reshape(t, (-1,))     # view of t is the output
+
+        gm = _prepare(M(), repro.randn(4, 5))
+        plan = plan_memory(gm)
+        assert plan.planned == 0  # t escapes through the reshape view
+
+
+class TestAliasLiveness:
+    def test_buffer_not_reused_while_view_is_live(self):
+        # `a` is last *directly* used by the reshape before `b` exists,
+        # but the view `v` is read after `b` — alias-extended liveness
+        # must keep a and b in different slots.
+        class M(nn.Module):
+            def forward(self, x):                 # x: (4, 16)
+                a = F.relu(x) * 2.0               # region A (4, 16)
+                v = F.reshape(a, (8, 8))          # view of a
+                b = F.sigmoid(x) + 0.5            # region B (4, 16), same spec
+                m = F.matmul(b, F.reshape(b, (16, 4)))  # consume b -> (4, 4)
+                s = F.matmul(v, F.reshape(v, (8, 8)))   # v read after b alloc
+                return F.sum(s) + F.sum(m)
+
+        m = M()
+        x = repro.randn(4, 16)
+        ref = m(x)
+        gm = _prepare(m, x)
+        plan = plan_memory(gm)
+        slots = {n.name: n.meta["arena_slot"].index
+                 for n in gm.graph.nodes if n.meta.get("arena_slot")}
+        assert plan.planned == 2
+        assert len(set(slots.values())) == 2, (
+            f"a and b share a slot while a's view is live: {slots}")
+        assert np.array_equal(gm(x).data, ref.data)
+
+    def test_dead_view_does_allow_reuse(self):
+        # Same shape of graph, but the view dies before region B — the
+        # planner should then share one slot.
+        class M(nn.Module):
+            def forward(self, x):                 # x: (4, 16)
+                a = F.relu(x) * 2.0
+                v = F.reshape(a, (8, 8))
+                s = F.matmul(v, v)                # v fully consumed here
+                b = F.sigmoid(x) + 0.5            # free to take a's slot
+                m = F.matmul(b, F.reshape(b, (16, 4)))
+                return F.sum(s) + F.sum(m)
+
+        m = M()
+        x = repro.randn(4, 16)
+        ref = m(x)
+        gm = _prepare(m, x)
+        plan = plan_memory(gm)
+        assert plan.planned == 2
+        assert plan.slots == 1 and plan.reuse_count == 1
+        assert np.array_equal(gm(x).data, ref.data)
+
+
+class TestInterpreterInteraction:
+    def test_gc_interpreter_uses_arena(self):
+        m = ChainModel()
+        x = repro.randn(5, 5)
+        gm = _prepare(m, x)
+        plan = plan_memory(gm)
+        out = Interpreter(gm).run(x)
+        assert np.array_equal(out.data, m(x).data)
+        assert plan.arena.materializations >= 1
+
+    def test_no_gc_interpreter_keeps_private_buffers(self):
+        # garbage_collect_values=False retains every intermediate in env;
+        # the interpreter must NOT route arena slots in (reuse would
+        # clobber retained values).
+        m = ChainModel()
+        x = repro.randn(5, 5)
+        gm = _prepare(m, x)
+        plan_memory(gm)
+        interp = Interpreter(gm, garbage_collect_values=False)
+        out = interp.run(x)
+        assert np.array_equal(out.data, m(x).data)
+        fused_values = [interp.env[n] for n in _fused_nodes(gm)]
+        assert len(fused_values) == 4
+        for i in range(len(fused_values)):
+            for j in range(i + 1, len(fused_values)):
+                assert not np.shares_memory(fused_values[i].data,
+                                            fused_values[j].data)
+
+    def test_run_node_override_unaffected(self):
+        # Interpreter subclasses that override call_function must not
+        # receive a surprise out= kwarg.
+        seen = []
+
+        class Recording(Interpreter):
+            def call_function(self, target, args, kwargs):
+                seen.append((target, tuple(kwargs)))
+                return super().call_function(target, args, kwargs)
+
+        m = ChainModel()
+        x = repro.randn(5, 5)
+        gm = _prepare(m, x)
+        plan_memory(gm)
+        out = Recording(gm).run(x)
+        assert np.array_equal(out.data, m(x).data)
+        assert all("out" not in ks for _, ks in seen)

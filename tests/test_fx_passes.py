@@ -6,7 +6,7 @@ import pytest
 import repro
 import repro.functional as F
 from repro import nn
-from repro.fx import symbolic_trace
+from repro.fx import Graph, GraphModule, symbolic_trace
 from repro.fx.passes import (
     ShapeProp,
     TensorMetadata,
@@ -189,6 +189,52 @@ class TestCSE:
         gm = symbolic_trace(f)
         removed = eliminate_common_subexpressions(gm)
         assert removed == 2  # relu dupe then neg dupe
+
+    def test_reimported_function_dedupes(self, tmp_path, monkeypatch):
+        # Targets are keyed by resolvable module.qualname, so the same
+        # function before and after a module reload (equal but distinct
+        # objects, same code) value-numbers identically.
+        import importlib
+        import operator
+        import sys
+
+        (tmp_path / "cse_reimport_mod.py").write_text(
+            "def double(x):\n    return x * 2\n")
+        monkeypatch.syspath_prepend(str(tmp_path))
+        mod = importlib.import_module("cse_reimport_mod")
+        try:
+            f_old = mod.double
+            f_new = importlib.reload(mod).double
+            assert f_old is not f_new
+
+            g = Graph()
+            x = g.placeholder("x")
+            a = g.call_function(f_old, (x,))
+            b = g.call_function(f_new, (x,))
+            g.output(g.call_function(operator.add, (a, b)))
+            gm = GraphModule(nn.Module(), g)
+            assert eliminate_common_subexpressions(gm) == 1
+            xv = repro.randn(3)
+            assert np.allclose(gm(xv).data, 4 * xv.data, atol=1e-6)
+        finally:
+            sys.modules.pop("cse_reimport_mod", None)
+
+    def test_unresolvable_callables_key_by_identity(self):
+        # Lambdas have no stable module.qualname: the same object still
+        # dedupes (id key), but two code-identical lambdas must not.
+        import operator
+
+        fa = lambda x: x + 1  # noqa: E731
+        fb = lambda x: x + 1  # noqa: E731
+        g = Graph()
+        x = g.placeholder("x")
+        n1 = g.call_function(fa, (x,))
+        n2 = g.call_function(fa, (x,))
+        n3 = g.call_function(fb, (x,))
+        s = g.call_function(operator.add, (n1, n2))
+        g.output(g.call_function(operator.add, (s, n3)))
+        gm = GraphModule(nn.Module(), g)
+        assert eliminate_common_subexpressions(gm) == 1  # n2 only
 
 
 class TestDCEPass:

@@ -1,0 +1,267 @@
+"""Tests for the pointwise-operator fusion pass (passes.pointwise_fuser)."""
+
+import operator
+import pickle
+
+import numpy as np
+import pytest
+
+import repro
+import repro.functional as F
+from repro import nn
+from repro.fx import Graph, GraphModule, symbolic_trace
+from repro.fx.passes import ShapeProp
+from repro.fx.passes.pointwise_fuser import (
+    FusedKernel,
+    OpDef,
+    fuse_pointwise,
+    pointwise_registry,
+    register_pointwise_op,
+)
+
+
+def _trace_and_prop(module, *inputs):
+    gm = symbolic_trace(module)
+    ShapeProp(gm).propagate(*inputs)
+    return gm
+
+
+def _fused_nodes(gm):
+    return [n for n in gm.graph.nodes
+            if n.op == "call_function" and isinstance(n.target, FusedKernel)]
+
+
+class TestRegionDetection:
+    def test_chain_collapses_to_single_kernel(self):
+        class M(nn.Module):
+            def forward(self, x):
+                t = F.relu(x)
+                t = t * 2.0
+                t = F.sigmoid(t)
+                return F.clamp(t, min=0.1, max=0.9)
+
+        m = M()
+        x = repro.randn(4, 8)
+        gm = _trace_and_prop(m, x)
+        nodes_before = len(gm.graph)
+        assert fuse_pointwise(gm) == 1
+        kernels = _fused_nodes(gm)
+        assert len(kernels) == 1
+        assert kernels[0].target.n_ops == 4
+        assert len(gm.graph) < nodes_before
+        assert np.array_equal(gm(x).data, m(x).data)
+
+    def test_dag_region_with_multiple_internal_uses(self):
+        class M(nn.Module):
+            def forward(self, x):
+                y = F.relu(x)
+                a = y * 2.0
+                b = y + 1.0
+                return a + b  # y has two users, both inside the region
+
+        m = M()
+        x = repro.randn(5, 3)
+        gm = _trace_and_prop(m, x)
+        assert fuse_pointwise(gm) == 1
+        assert _fused_nodes(gm)[0].target.n_ops == 4
+        assert np.array_equal(gm(x).data, m(x).data)
+
+    def test_external_consumer_blocks_absorption(self):
+        class M(nn.Module):
+            def forward(self, x):
+                y = F.relu(x)          # consumed by the region AND matmul
+                a = y * 2.0
+                m = F.matmul(y, y)
+                return a + m
+
+        x = repro.randn(4, 4)
+        gm = _trace_and_prop(M(), x)
+        fuse_pointwise(gm)
+        # relu must survive as a standalone node: one of its users is
+        # outside any fused region.
+        assert any(n.target is F.relu for n in gm.graph.nodes
+                   if n.op == "call_function")
+        assert np.array_equal(gm(x).data, M()(x).data)
+
+    def test_requires_shape_metadata(self):
+        class M(nn.Module):
+            def forward(self, x):
+                return F.relu(x) * 2.0
+
+        gm = symbolic_trace(M())  # no ShapeProp
+        assert fuse_pointwise(gm) == 0
+
+    def test_integer_dtype_not_fused(self):
+        class M(nn.Module):
+            def forward(self, x):
+                return (x + x) * 2
+
+        gm = symbolic_trace(M())
+        ShapeProp(gm).propagate(repro.arange(6))
+        assert fuse_pointwise(gm) == 0
+
+    def test_min_region_size_excludes_singletons(self):
+        class M(nn.Module):
+            def forward(self, x):
+                return F.matmul(F.relu(x), x)  # lone relu between breakers
+
+        gm = _trace_and_prop(M(), repro.randn(3, 3))
+        assert fuse_pointwise(gm) == 0
+
+    def test_consecutive_regions_chain_through_replacement(self):
+        # Region B's input is region A's output: the rewrite of A must be
+        # visible to B (regression for stale-operand references).
+        class M(nn.Module):
+            def forward(self, x):
+                for _ in range(3):
+                    t = F.relu(x) + 1.0
+                    x = F.matmul(t, t)
+                return x
+
+        m = M()
+        x = repro.randn(6, 6)
+        gm = _trace_and_prop(m, x)
+        assert fuse_pointwise(gm) == 3
+        gm.graph.lint()
+        assert np.array_equal(gm(x).data, m(x).data)
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("build", [
+        lambda x: F.gelu(F.silu(x)) * 1.5,
+        lambda x: F.selu(F.leaky_relu(x, negative_slope=0.2)),
+        lambda x: F.hardswish(F.softplus(x, beta=2.0)) - 0.25,
+        lambda x: F.where(x, F.tanh(x), F.elu(x, alpha=0.7)),
+        lambda x: F.add(F.mish(x), x, alpha=3.0),
+        lambda x: x.sigmoid().clamp(min=0.2) / 0.5,
+        lambda x: F.rsqrt(F.exp(x) + 2.0),
+    ], ids=["gelu-silu", "selu-leaky", "hardswish-softplus", "where-tanh-elu",
+            "mish-alpha-add", "method-chain", "rsqrt-exp"])
+    def test_bitwise_equal_to_eager(self, build):
+        class M(nn.Module):
+            def forward(self, x):
+                return build(x)
+
+        m = M()
+        x = repro.randn(16, 9)
+        ref = m(x)
+        gm = _trace_and_prop(m, x)
+        assert fuse_pointwise(gm) >= 1
+        out = gm(x)
+        assert out.dtype is ref.dtype
+        assert np.array_equal(out.data, ref.data)
+
+    def test_module_activations_absorbed(self):
+        class M(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.act = nn.LeakyReLU(0.3)
+                self.tanh = nn.Tanh()
+
+            def forward(self, x):
+                return self.tanh(self.act(x * 2.0))
+
+        m = M()
+        x = repro.randn(7, 7)
+        gm = _trace_and_prop(m, x)
+        assert fuse_pointwise(gm) == 1
+        spec = _fused_nodes(gm)[0].target.spec
+        assert {s.key for s in spec.steps} == {"mul", "leaky_relu", "tanh"}
+        # the module parameters were baked in as immediates
+        (lr,) = [s for s in spec.steps if s.key == "leaky_relu"]
+        assert dict(lr.params)["negative_slope"] == 0.3
+        assert np.array_equal(gm(x).data, m(x).data)
+
+    def test_broadcast_input_guarded(self):
+        class M(nn.Module):
+            def forward(self, x, b):
+                return F.relu(x + b) * 2.0  # b broadcasts (C,) -> (N, C)
+
+        m = M()
+        x, b = repro.randn(4, 6), repro.randn(6)
+        gm = _trace_and_prop(m, x, b)
+        assert fuse_pointwise(gm) == 1
+        assert np.array_equal(gm(x, b).data, m(x, b).data)
+
+
+class TestGuardFallback:
+    def _compiled(self):
+        class M(nn.Module):
+            def forward(self, x):
+                return F.sigmoid(F.relu(x) * 3.0) + 0.125
+
+        m = M()
+        x = repro.randn(4, 4)
+        gm = _trace_and_prop(m, x)
+        assert fuse_pointwise(gm) == 1
+        return m, gm
+
+    def test_other_shape_falls_back_to_generic(self):
+        m, gm = self._compiled()
+        y = repro.randn(2, 9, 3)
+        assert np.array_equal(gm(y).data, m(y).data)
+
+    def test_other_dtype_falls_back_to_generic(self):
+        m, gm = self._compiled()
+        y = repro.randn(4, 4).to(repro.float64)
+        out, ref = gm(y), m(y)
+        assert out.dtype is ref.dtype
+        assert np.array_equal(out.data, ref.data)
+
+
+class TestKernelObject:
+    def test_pickle_round_trip(self):
+        class M(nn.Module):
+            def forward(self, x):
+                return F.gelu(x * 0.5) + 1.0
+
+        m = M()
+        x = repro.randn(3, 5)
+        gm = _trace_and_prop(m, x)
+        fuse_pointwise(gm)
+        gm2 = pickle.loads(pickle.dumps(gm))
+        assert np.array_equal(gm2(x).data, m(x).data)
+        k2 = _fused_nodes(gm2)[0].target
+        assert k2.spec == _fused_nodes(gm)[0].target.spec
+
+    def test_kernel_accepts_out_buffer(self):
+        class M(nn.Module):
+            def forward(self, x):
+                return F.relu(x) * 2.0
+
+        x = repro.randn(3, 3)
+        gm = _trace_and_prop(M(), x)
+        fuse_pointwise(gm)
+        kernel = _fused_nodes(gm)[0].target
+        buf = np.empty((3, 3), np.float32)
+        out = kernel(x, out=buf)
+        assert out.data is buf
+        assert np.array_equal(out.data, M()(x).data)
+
+    def test_registry_extension_hook(self):
+        def scaled_tanh(x, scale=1.0):
+            return repro.Tensor(np.tanh(np.asarray(x.data)) * scale)
+
+        register_pointwise_op(
+            OpDef("scaled_tanh", 1, params=(("scale", 1.0),),
+                  ref=lambda a, scale=1.0: np.tanh(a) * scale),
+            functions=(scaled_tanh,),
+        )
+        try:
+            assert "scaled_tanh" in pointwise_registry()
+            g = Graph()
+            x = g.placeholder("x")
+            a = g.call_function(scaled_tanh, (x,), {"scale": 2.0})
+            b = g.call_function(operator.add, (a, x))
+            g.output(b)
+            gm = GraphModule(nn.Module(), g)
+            xv = repro.randn(4, 4)
+            ref = gm(xv)
+            ShapeProp(gm).propagate(xv)
+            assert fuse_pointwise(gm) == 1
+            assert np.allclose(gm(xv).data, ref.data, atol=0, rtol=0)
+        finally:
+            reg = pointwise_registry()
+            from repro.fx.passes import pointwise_fuser as pf
+            pf._REGISTRY.pop("scaled_tanh", None)
+            pf._FUNCTION_TARGETS.pop(scaled_tanh, None)
