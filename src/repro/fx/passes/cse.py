@@ -50,7 +50,9 @@ def _target_key(target: Any) -> Any:
                     and resolved.__code__.co_code == target.__code__.co_code
                     and resolved.__code__.co_consts == target.__code__.co_consts
                     and resolved.__code__.co_names == target.__code__.co_names
+                    and resolved.__code__.co_flags == target.__code__.co_flags
                     and resolved.__defaults__ == target.__defaults__
+                    and resolved.__kwdefaults__ == target.__kwdefaults__
                     and resolved.__closure__ is None
                     and target.__closure__ is None
                 ):

@@ -13,8 +13,11 @@ Planning is deliberately conservative:
 
 * Only outputs of :class:`~repro.fx.passes.pointwise_fuser.FusedKernel`
   nodes are placed in the arena — those are the only targets that accept
-  an ``out=`` destination, and their generated kernels are alias-safe by
-  construction (so a node may even write into a dying operand's buffer).
+  an ``out=`` destination.  Kernel *emit steps* are alias-safe, but a
+  multi-step kernel writes its result buffer early and may read an input
+  again at a later step, so a node's ``out`` is allowed to take a dying
+  operand's slot only when the kernel's step schedule proves the operand
+  is never read after the result buffer's first write.
 * A value reachable from the graph output — directly or through any
   chain of aliasing ops (``reshape``, ``getitem``, ``transpose``, …) —
   **escapes** and is never planned: its storage must survive the call.
@@ -224,6 +227,44 @@ def _leaf_meta(node: Node) -> Optional[TensorMetadata]:
     return meta if isinstance(meta, TensorMetadata) else None
 
 
+def _out_may_clobber(node: Node, dead: Node, gm: GraphModule) -> bool:
+    """Would routing *node*'s ``out`` into *dead*'s buffer corrupt *node*?
+
+    Emit steps tolerate ``out`` aliasing their own operands, but that
+    guarantee is per step: a multi-step kernel first writes buffer 0 at
+    some step ``w`` and may read an input again at a later step ``r``.
+    If *dead*'s storage is readable through input ``i`` (directly or via
+    a view) and ``last_read(i) > first_write(out)``, the early write
+    would clobber data a later step still needs.
+    """
+    spec = node.target.spec
+    first_write = next(
+        (j for j, st in enumerate(spec.steps) if st.out_buf == 0),
+        len(spec.steps))
+    if first_write >= len(spec.steps) - 1:
+        return False  # result buffer only written by the final step
+    # Forward alias closure: every node whose value may share storage
+    # with `dead` (dead itself plus transitive view-producing users).
+    closure = {dead}
+    stack = [dead]
+    while stack:
+        m = stack.pop()
+        for u in m.users:
+            if u not in closure and _may_alias(u, gm):
+                closure.add(u)
+                stack.append(u)
+    for pos, a in enumerate(node.args):
+        if not (isinstance(a, Node) and a in closure):
+            continue
+        last_read = max(
+            (j for j, st in enumerate(spec.steps)
+             if ("i", pos) in st.operands),
+            default=-1)
+        if last_read > first_write:
+            return True
+    return False
+
+
 # ---------------------------------------------------------------------------
 # the pass
 # ---------------------------------------------------------------------------
@@ -290,28 +331,40 @@ def plan_memory(gm: GraphModule) -> MemoryPlan:
     slot_of: dict[Node, int] = {}
     reuse_count = 0
     for i, n in enumerate(nodes):
-        # Values whose last (alias-extended) read is this very step free
-        # their slots *before* this node's output slot is chosen: fused
-        # kernels are alias-safe, so writing into a dying operand's
-        # buffer is allowed and maximizes reuse.
-        for dead in dying_at.get(i, ()):
-            if dead is not n:
-                meta = _leaf_meta(dead)
-                key = (tuple(meta.shape), meta.dtype.name)
-                pool.setdefault(key, []).append(slot_of[dead])
-        if not plannable(n):
-            continue
-        meta = _leaf_meta(n)
-        key = (tuple(meta.shape), meta.dtype.name)
-        avail = pool.get(key)
-        if avail:
-            idx = avail.pop()
-            reuse_count += 1
-        else:
-            idx = arena.add_slot(tuple(meta.shape),
-                                 np.dtype(meta.dtype.np_dtype).name)
-        slot_of[n] = idx
-        n.meta["arena_slot"] = ArenaSlot(arena, idx)
+        # Values whose last (alias-extended) read happens at this very
+        # step are necessarily read *during* n's execution, so their
+        # slots only become generally available after n.  They may still
+        # serve as n's own `out` when the kernel's step schedule proves
+        # the write cannot precede any remaining read of them.
+        dying = [d for d in dying_at.get(i, ()) if d is not n]
+        if plannable(n):
+            meta = _leaf_meta(n)
+            key = (tuple(meta.shape), meta.dtype.name)
+            idx = None
+            avail = pool.get(key)
+            if avail:
+                idx = avail.pop()
+                reuse_count += 1
+            else:
+                for dead in dying:
+                    dmeta = _leaf_meta(dead)
+                    if (tuple(dmeta.shape), dmeta.dtype.name) != key:
+                        continue
+                    if _out_may_clobber(n, dead, gm):
+                        continue
+                    dying.remove(dead)
+                    idx = slot_of[dead]
+                    reuse_count += 1
+                    break
+            if idx is None:
+                idx = arena.add_slot(tuple(meta.shape),
+                                     np.dtype(meta.dtype.np_dtype).name)
+            slot_of[n] = idx
+            n.meta["arena_slot"] = ArenaSlot(arena, idx)
+        for dead in dying:
+            dmeta = _leaf_meta(dead)
+            dkey = (tuple(dmeta.shape), dmeta.dtype.name)
+            pool.setdefault(dkey, []).append(slot_of[dead])
 
     # -- peak-liveness accounting (diff-array sweep over node steps) --------
     def sweep(intervals: list[tuple[int, int, int]]) -> int:

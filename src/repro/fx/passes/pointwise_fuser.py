@@ -32,9 +32,13 @@ Safety rules:
   any of its operands.  Direct ufuncs stream element-by-element (safe by
   construction); composite ops use the evaluate-then-assign pattern
   (``out[...] = <full expression>``).  This is what lets the internal
-  register allocator — and the downstream
-  :mod:`~repro.fx.passes.memory_planner` — reuse a dying operand's buffer
-  as the destination.
+  register allocator reuse a dying operand's buffer as the destination
+  of the *same step*.  The guarantee is strictly per step: across a
+  multi-step kernel the result buffer may be written early and an input
+  read later, so the downstream
+  :mod:`~repro.fx.passes.memory_planner` consults the step schedule
+  (first write of buffer 0 vs. last read of each input) before routing
+  ``out`` into a dying operand's slot.
 
 Extending the registry::
 

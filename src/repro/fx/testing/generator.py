@@ -7,8 +7,9 @@ Programs come in two families:
   ``call_function``, ``call_method``, ``call_module``, ``get_attr``,
   ``output``), kwargs-carrying and kwargs-only calls, list aggregates
   (``cat``), multi-output nodes (``chunk`` + ``getitem``), shared
-  subexpressions (operand reuse), multi-use placeholders, and tuple/dict
-  output aggregates.
+  subexpressions (operand reuse), multi-use placeholders, multi-step
+  pointwise chains over shared operands (fusion/memory-planner stress),
+  and tuple/dict output aggregates.
 * ``"module"`` — a random ``nn.Module`` tree (MLP or Conv/BatchNorm stack)
   that is symbolically traced; the untraced module provides an independent
   *eager* reference for the differential oracle, and the conv family gives
@@ -141,8 +142,8 @@ def _generate_graph_program(spec: ProgramSpec) -> GeneratedProgram:
         input_shapes.append((BATCH, feat))
 
     kinds = ("unary_fn", "binary_fn", "kwargs_fn", "method", "module",
-             "get_attr", "cat", "chunk")
-    weights = (5, 4, 2, 3, 4, 2, 2, 2)
+             "get_attr", "cat", "chunk", "pointwise_chain")
+    weights = (5, 4, 2, 3, 4, 2, 2, 2, 3)
 
     emitted = 0
     for i in range(spec.n_ops):
@@ -251,6 +252,41 @@ def _emit_op(kind: str, i: int, rng: random.Random, g: Graph, root: Module,
         node = g.call_function(F.cat, ([v, w],), {"dim": 1})
         values.append((node, (shape[0], shape[-1] + wshape[-1])))
         return 1
+
+    if kind == "pointwise_chain":
+        # Two fusible regions sharing a multi-use intermediate: x is a
+        # 2-step pointwise region with a non-fusible first user (cat),
+        # whose *last* user is a second multi-step region that reads x
+        # either at its tail step (after that kernel's result buffer was
+        # already written) or at its head.  This is the shape of program
+        # that exercises the memory planner's slot-reuse rule: `out` may
+        # take a dying operand's slot only when no later kernel step
+        # still reads the operand.
+        x = g.call_function(rng.choice(_UNARY_FNS), (v,))
+        x = g.call_function(rng.choice(_UNARY_FNS), (x,))
+        # Non-fusible earlier user keeps x out of the consuming region
+        # (and out of the output alias set: cat copies).
+        u = g.call_function(F.cat, ([x, x],), {"dim": 1})
+        values.append((u, (shape[0], shape[-1] * 2)))
+        mates = [n for n, s in values if s == shape]
+        m = mates[rng.randrange(len(mates))] if mates else v
+        mix = rng.choice((operator.mul, operator.add))
+        if rng.random() < 0.5:
+            # tail read: chain over m, then fold x in at the last step.
+            w = g.call_function(rng.choice(_UNARY_FNS), (m,))
+            w = g.call_function(rng.choice(_UNARY_FNS), (w,))
+            w = g.call_function(mix, (w, x))
+        else:
+            # head read: x consumed at step 0, chain continues over it.
+            w = g.call_function(mix, (x, m))
+            w = g.call_function(rng.choice(_UNARY_FNS), (w,))
+            w = g.call_function(rng.choice(_UNARY_FNS), (w,))
+        # Downstream consumer so w itself usually stays non-escaping
+        # (and therefore plannable).
+        r = g.call_function(F.cat, ([w, w],), {"dim": 1})
+        values.append((w, shape))
+        values.append((r, (shape[0], shape[-1] * 2)))
+        return 7
 
     if kind == "chunk":
         evens = [(n, s) for n, s in values if s[-1] % 2 == 0]

@@ -1,5 +1,6 @@
 """Tests for liveness-based memory planning (passes.memory_planner),
-including the aliasing edge cases: escaping outputs, live views, and the
+including the aliasing edge cases: escaping outputs, live views,
+out-slot reuse against multi-step fused kernels, and the
 ``garbage_collect_values=False`` interpreter interaction."""
 
 import numpy as np
@@ -172,6 +173,68 @@ class TestAliasLiveness:
         assert plan.planned == 2
         assert plan.slots == 1 and plan.reuse_count == 1
         assert np.array_equal(gm(x).data, ref.data)
+
+
+class TailReadModel(nn.Module):
+    """A multi-use fused intermediate consumed at the *last* step of a
+    3-step fused chain.  Reusing x's slot as w's ``out`` is unsound: the
+    chain writes its result buffer at step 0 (``exp(c)``) but still
+    reads x at step 2, so the early write would clobber it."""
+
+    def forward(self, a, c):
+        x = F.exp(a) * F.sin(a)          # fused region, 2 users
+        y = F.matmul(x, x)               # earlier user keeps x a separate region
+        w = F.mul(F.sin(F.exp(c)), x)    # 3-step fused chain, reads x at tail
+        return F.matmul(y, w)
+
+
+class HeadReadModel(nn.Module):
+    """Same multi-use shape, but the chain reads x only at its *first*
+    step — writing into x's dying slot is then provably safe and the
+    planner must still reuse it."""
+
+    def forward(self, a):
+        x = F.relu(a) * 2.0
+        y = F.matmul(x, a)
+        w = F.tanh(F.sin(F.exp(x)))      # x read at step 0 only
+        return F.matmul(y, w)
+
+
+class TestOutAliasSafety:
+    def test_tail_read_chain_does_not_take_dying_operand_slot(self):
+        m = TailReadModel()
+        a, c = repro.randn(6, 6), repro.randn(6, 6)
+        ref = m(a, c)
+        gm = _prepare(m, a, c)
+        plan = plan_memory(gm)
+        assert plan.planned == 2
+        assert plan.slots == 2 and plan.reuse_count == 0, (
+            "w's out must not alias x: x is read at w's last step, after "
+            "w's result buffer was first written")
+        out = gm(a, c)
+        assert np.array_equal(out.data, ref.data)
+        assert np.array_equal(gm(a, c).data, ref.data)  # arena steady state
+
+    def test_tail_read_chain_interpreter_matches_eager(self):
+        # The Interpreter routes the same out= slots; it must agree too.
+        m = TailReadModel()
+        a, c = repro.randn(5, 5), repro.randn(5, 5)
+        gm = _prepare(m, a, c)
+        plan_memory(gm)
+        out = Interpreter(gm).run(a, c)
+        assert np.array_equal(out.data, m(a, c).data)
+
+    def test_head_read_chain_still_reuses_operand_slot(self):
+        m = HeadReadModel()
+        a = repro.randn(5, 5)
+        ref = m(a)
+        gm = _prepare(m, a)
+        plan = plan_memory(gm)
+        assert plan.planned == 2
+        assert plan.slots == 1 and plan.reuse_count == 1, (
+            "x's last read is the chain's first step, before any other "
+            "write of the result buffer: reuse is safe and expected")
+        assert np.array_equal(gm(a).data, ref.data)
 
 
 class TestInterpreterInteraction:

@@ -219,6 +219,39 @@ class TestCSE:
         finally:
             sys.modules.pop("cse_reimport_mod", None)
 
+    def test_kwonly_default_change_not_merged(self):
+        # Two versions of a function differing ONLY in a keyword-only
+        # default value share bytecode/consts/names, so the code-identity
+        # fallback must also compare __kwdefaults__ before granting both
+        # the shared qualname key.
+        import operator
+        import sys
+        import types
+
+        mod = types.ModuleType("cse_kwdef_mod")
+        exec(compile("def scale(x, *, k=2.0):\n    return x * k\n",
+                     "<old>", "exec"), mod.__dict__)
+        f_old = mod.scale
+        exec(compile("def scale(x, *, k=3.0):\n    return x * k\n",
+                     "<new>", "exec"), mod.__dict__)
+        f_new = mod.scale
+        sys.modules["cse_kwdef_mod"] = mod
+        try:
+            assert f_old.__code__.co_code == f_new.__code__.co_code
+            assert f_old.__kwdefaults__ != f_new.__kwdefaults__
+
+            g = Graph()
+            x = g.placeholder("x")
+            a = g.call_function(f_old, (x,))
+            b = g.call_function(f_new, (x,))
+            g.output(g.call_function(operator.add, (a, b)))
+            gm = GraphModule(nn.Module(), g)
+            assert eliminate_common_subexpressions(gm) == 0
+            xv = repro.randn(3)
+            assert np.allclose(gm(xv).data, 5 * xv.data, atol=1e-6)
+        finally:
+            sys.modules.pop("cse_kwdef_mod", None)
+
     def test_unresolvable_callables_key_by_identity(self):
         # Lambdas have no stable module.qualname: the same object still
         # dedupes (id key), but two code-identical lambdas must not.
