@@ -10,6 +10,9 @@ Public surface mirrors ``torch.fx``:
 * :func:`replace_pattern` — declarative subgraph rewriting;
 * :func:`compile` — one-call optimizing pipeline (pointwise fusion +
   memory planning, §6.2);
+* :mod:`repro.fx.analysis` — the unified dataflow analysis framework
+  (alias/escape, purity, dtype promotion, mutation hazards), lint rules
+  (also ``python -m repro.fx.analysis``), and the pass verifier;
 * :mod:`repro.fx.passes` — shape propagation, fusion, splitting,
   visualization, cost modelling, scheduling;
 * :mod:`repro.fx.testing` — differential testing and graph fuzzing of
@@ -23,6 +26,8 @@ from .node import Node, map_arg, map_aggregate
 from .proxy import Attribute, Proxy, TraceError
 from .subgraph_rewriter import Match, replace_pattern
 from .tracer import Tracer, TracerBase, symbolic_trace, wrap
+from . import analysis
+from .analysis import PassVerifier, VerificationError, lint_graph
 from . import passes
 from .compiler import CompileReport, compile  # noqa: A004 - mirrors torch.compile
 from . import testing
@@ -35,16 +40,20 @@ __all__ = [
     "Interpreter",
     "Match",
     "Node",
+    "PassVerifier",
     "Proxy",
     "PythonCode",
     "TraceError",
+    "VerificationError",
     "Tracer",
     "TracerBase",
     "Transformer",
     "UnstableHashError",
+    "analysis",
     "clear_codegen_cache",
     "codegen_cache_info",
     "compile",
+    "lint_graph",
     "map_aggregate",
     "map_arg",
     "passes",

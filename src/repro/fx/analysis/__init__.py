@@ -1,0 +1,106 @@
+"""``repro.fx.analysis`` — a unified dataflow analysis framework.
+
+The paper's central observation (§5.5) is that the 6-opcode IR is one
+basic block, so classical dataflow analyses collapse to simple sweeps.
+This package takes that seriously as an *architecture*: one fixpoint
+engine (:mod:`~repro.fx.analysis.engine`), pluggable per-node transfer
+functions, and structural-hash-keyed result caching, with every fact a
+transform needs computed once and shared:
+
+* :mod:`~repro.fx.analysis.alias` — may-alias / escape / extended
+  liveness (the memory planner's foundation, extracted);
+* :mod:`~repro.fx.analysis.purity` — side-effect classification behind
+  ``Node.is_impure``, DCE and CSE;
+* :mod:`~repro.fx.analysis.dtype_promotion` — silent float64 upcasts;
+* :mod:`~repro.fx.analysis.mutation` — in-place / ``out=`` / arena-slot
+  writes that clobber live values.
+
+On top sit the user-facing layers:
+
+* :func:`lint_graph` + the rule registry — diagnostics with severity and
+  tracer-recorded source provenance (also ``python -m repro.fx.analysis``);
+* :class:`PassVerifier` — re-checks invariants after every
+  ``PassManager`` pass and fails the pipeline *naming the pass* when one
+  regresses.
+"""
+
+from .engine import (
+    Analysis,
+    AnalysisContext,
+    AnalysisError,
+    FixpointStats,
+    analysis_cache_info,
+    analyze,
+    clear_analysis_cache,
+    fixpoint,
+    get_analysis,
+    register_analysis,
+    registered_analyses,
+)
+from .alias import AliasAnalysis, AliasResult, AliasView, may_alias_input
+from .purity import (
+    Effect,
+    PurityAnalysis,
+    PurityResult,
+    classify_effect,
+    impure_fingerprints,
+    is_inplace_method,
+)
+from .dtype_promotion import DtypePromotionAnalysis, DtypeResult, UpcastRecord
+from .mutation import (
+    Hazard,
+    MutationHazardAnalysis,
+    MutationResult,
+    fused_out_clobbers,
+)
+from .diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    Rule,
+    Severity,
+    get_rule,
+    lint_graph,
+    register_rule,
+    registered_rules,
+)
+from .verifier import PassVerifier, VerificationError
+
+__all__ = [
+    "Analysis",
+    "AnalysisContext",
+    "AnalysisError",
+    "AliasAnalysis",
+    "AliasResult",
+    "AliasView",
+    "Diagnostic",
+    "DiagnosticReport",
+    "DtypePromotionAnalysis",
+    "DtypeResult",
+    "Effect",
+    "FixpointStats",
+    "Hazard",
+    "MutationHazardAnalysis",
+    "MutationResult",
+    "PassVerifier",
+    "PurityAnalysis",
+    "PurityResult",
+    "Rule",
+    "Severity",
+    "UpcastRecord",
+    "VerificationError",
+    "analysis_cache_info",
+    "analyze",
+    "classify_effect",
+    "clear_analysis_cache",
+    "fixpoint",
+    "fused_out_clobbers",
+    "get_analysis",
+    "get_rule",
+    "impure_fingerprints",
+    "is_inplace_method",
+    "lint_graph",
+    "may_alias_input",
+    "register_analysis",
+    "register_rule",
+    "registered_rules",
+]

@@ -1,0 +1,130 @@
+"""``python -m repro.fx.analysis`` — lint any traceable module.
+
+Point it at a module attribute (``pkg.mod:Attr`` or ``path/file.py:Attr``
+— an ``nn.Module`` instance, an ``nn.Module`` subclass or factory
+function with a no-arg call, or an already-traced ``GraphModule``),
+optionally give it
+input shapes so shape propagation can feed the dtype rules, and read the
+diagnostics; source locations come from the tracer's recorded
+``stack_trace`` and point at the model's own ``forward`` code.
+
+Examples::
+
+    python -m repro.fx.analysis repro.models:resnet18 --shapes 1,3,64,64
+    python -m repro.fx.analysis examples/analyze_and_schedule.py:TwoTower
+    python -m repro.fx.analysis mymodel.py:Net --min-severity warning
+
+Exit status: 1 when any error-severity diagnostic is reported (or the
+spec fails to load/trace), else 0 — warnings and notes never fail the
+run, so the lint can gate CI without blocking on style findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import importlib.util
+import sys
+from typing import Any, Optional, Sequence
+
+from .diagnostics import Severity, lint_graph, registered_rules
+
+
+def _load_spec(spec: str) -> Any:
+    """Resolve ``pkg.mod:attr`` / ``path/to/file.py:attr`` to the object."""
+    if ":" not in spec:
+        raise SystemExit(
+            f"error: spec {spec!r} must look like 'pkg.mod:attr' or "
+            f"'path/file.py:attr'")
+    mod_spec, _, attr = spec.rpartition(":")
+    if mod_spec.endswith(".py"):
+        loader_spec = importlib.util.spec_from_file_location("_lint_target", mod_spec)
+        if loader_spec is None or loader_spec.loader is None:
+            raise SystemExit(f"error: cannot load file {mod_spec!r}")
+        module = importlib.util.module_from_spec(loader_spec)
+        loader_spec.loader.exec_module(module)
+    else:
+        module = importlib.import_module(mod_spec)
+    try:
+        return getattr(module, attr)
+    except AttributeError:
+        raise SystemExit(
+            f"error: {mod_spec!r} has no attribute {attr!r}") from None
+
+
+def _as_graph_module(obj: Any):
+    from ...nn import Module
+    from ..graph_module import GraphModule
+    from ..tracer import symbolic_trace
+
+    if isinstance(obj, GraphModule):
+        return obj
+    if not isinstance(obj, Module) and callable(obj):
+        # A subclass or factory function (repro.models:resnet18):
+        # call it with defaults to get the instance.
+        obj = obj()
+    return symbolic_trace(obj)
+
+
+def _parse_shape(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(d) for d in text.replace("x", ",").split(",") if d)
+    except ValueError:
+        raise SystemExit(f"error: bad shape {text!r}; expected e.g. 1,3,224,224")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fx.analysis",
+        description="Trace a module and lint its captured graph.")
+    parser.add_argument(
+        "spec",
+        help="what to lint: 'pkg.mod:attr' or 'path/file.py:attr' "
+             "(an nn.Module, nn.Module subclass, or GraphModule)")
+    parser.add_argument(
+        "--shapes", action="append", default=[], metavar="D0,D1,...",
+        help="input shape for shape propagation; repeat once per "
+             "forward() argument (enables the dtype rules)")
+    parser.add_argument(
+        "--rule", action="append", default=[], dest="rules", metavar="RULE",
+        help="run only this rule (repeatable; default: all registered)")
+    parser.add_argument(
+        "--min-severity", choices=["note", "warning", "error"],
+        default="note", help="hide findings below this severity")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(registered_rules().values(), key=lambda r: r.id):
+            print(f"{rule.id:24s} {rule.default_severity.label():8s} {rule.doc}")
+        return 0
+
+    obj = _load_spec(args.spec)
+    try:
+        gm = _as_graph_module(obj)
+    except Exception as exc:  # tracing arbitrary user code: report, don't crash
+        print(f"error: could not trace {args.spec!r}: {exc}", file=sys.stderr)
+        return 1
+
+    if args.shapes:
+        import repro
+        from ..passes.shape_prop import ShapeProp
+
+        inputs = [repro.randn(*_parse_shape(s)) for s in args.shapes]
+        try:
+            ShapeProp(gm).propagate(*inputs)
+        except Exception as exc:
+            print(f"error: shape propagation failed: {exc}", file=sys.stderr)
+            return 1
+
+    report = lint_graph(gm, rules=args.rules or None)
+    min_sev = {"note": Severity.NOTE, "warning": Severity.WARNING,
+               "error": Severity.ERROR}[args.min_severity]
+    print(report.format(min_severity=min_sev))
+    return 1 if report.errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Dtype-promotion analysis: find silent ``float64`` upcasts.
+
+The numpy substrate promotes aggressively: a Python ``float`` scalar is
+``float64``, ``np.mean`` of an integer array is ``float64``, and one
+careless constant can silently double the memory traffic and halve the
+throughput of everything downstream.  (The paper's §6 perf numbers all
+assume ``float32`` end-to-end.)
+
+This is a *forward* dataflow analysis over the dtype lattice run by the
+shared engine: each node's abstract dtype is the one observed by shape
+propagation when ``meta['tensor_meta']`` is present, else the numpy
+promotion of its input dtypes.  A node whose observed dtype is
+``float64`` while every known input dtype is narrower is reported as a
+silent upcast — unless the node is an *explicit* cast (``.to`` /
+``.double`` / ``.astype``), which states intent.
+
+Requires shape metadata to say anything definite; graphs without
+``ShapeProp`` metadata produce no reports (never false positives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from ..graph_module import GraphModule
+from ..node import Node
+from ..passes.shape_prop import TensorMetadata
+from .engine import Analysis, AnalysisContext, fixpoint, register_analysis
+
+__all__ = ["DtypePromotionAnalysis", "DtypeResult", "UpcastRecord"]
+
+
+#: targets that cast on purpose — never flagged.
+_EXPLICIT_CAST_METHODS = frozenset({
+    "to", "astype", "type", "double", "float", "half", "long", "int",
+    "short", "char", "bool",
+})
+_EXPLICIT_CAST_FUNCTION_NAMES = frozenset({"astype", "to", "asarray", "array"})
+
+
+def _observed_dtype(node: Node) -> Optional[str]:
+    meta = node.meta.get("tensor_meta")
+    if isinstance(meta, TensorMetadata):
+        return np.dtype(meta.dtype.np_dtype).name
+    return None
+
+
+def _is_explicit_cast(node: Node) -> bool:
+    if node.op == "call_method":
+        return node.target in _EXPLICIT_CAST_METHODS
+    if node.op == "call_function":
+        return getattr(node.target, "__name__", "") in _EXPLICIT_CAST_FUNCTION_NAMES
+    return False
+
+
+@dataclass(frozen=True)
+class UpcastRecord:
+    """One detected silent widening (positional, cacheable)."""
+
+    node_index: int
+    node_name: str
+    input_dtypes: tuple[str, ...]
+    result_dtype: str
+
+
+@dataclass(frozen=True)
+class DtypeResult:
+    """Positional dtype facts plus the flagged upcasts.
+
+    Attributes:
+        dtypes: per node index, the abstract dtype name (``None`` =
+            unknown / non-tensor).
+        upcasts: every silent ``float64`` widening found.
+    """
+
+    dtypes: tuple[Optional[str], ...]
+    upcasts: tuple[UpcastRecord, ...]
+
+
+@register_analysis
+class DtypePromotionAnalysis(Analysis):
+    name = "dtype"
+
+    def extra_cache_key(self, gm: GraphModule) -> Any:
+        # tensor_meta is not part of the structural hash; the same graph
+        # shape-propagated with different inputs must key differently.
+        return tuple(_observed_dtype(n) for n in gm.graph.nodes)
+
+    def compute(self, gm: GraphModule, ctx: AnalysisContext) -> DtypeResult:
+        nodes = list(gm.graph.nodes)
+        order = {n: i for i, n in enumerate(nodes)}
+
+        def transfer(n: Node, fact) -> Optional[str]:
+            observed = _observed_dtype(n)
+            if observed is not None:
+                return observed
+            inputs = [fact(a) for a in n.all_input_nodes]
+            known = [d for d in inputs if d is not None]
+            if not known or len(known) != len(inputs):
+                return None
+            try:
+                result = known[0]
+                for d in known[1:]:
+                    result = np.promote_types(result, d).name
+                return result
+            except TypeError:
+                return None
+
+        facts, _ = fixpoint(nodes, transfer, direction="forward", init=None)
+
+        upcasts: list[UpcastRecord] = []
+        for n in nodes:
+            if _observed_dtype(n) != "float64" or _is_explicit_cast(n):
+                continue
+            input_nodes = n.all_input_nodes
+            if not input_nodes:
+                continue  # a float64 leaf (placeholder/get_attr) is deliberate
+            in_dtypes = [facts[a] for a in input_nodes]
+            if any(d is None for d in in_dtypes):
+                continue  # unknown input: stay quiet rather than guess
+            if any(d == "float64" for d in in_dtypes):
+                continue  # widening came in from an input; blame its producer
+            upcasts.append(UpcastRecord(
+                node_index=order[n],
+                node_name=n.name,
+                input_dtypes=tuple(in_dtypes),
+                result_dtype="float64",
+            ))
+
+        return DtypeResult(
+            dtypes=tuple(facts[n] for n in nodes),
+            upcasts=tuple(upcasts),
+        )

@@ -124,6 +124,7 @@ def compile(  # noqa: A001 - mirrors torch.compile
     memory_planning: bool = True,
     lint: bool = False,
     cache: bool = True,
+    verify: bool = True,
 ) -> GraphModule:
     """Capture (if needed) and optimize *module* against *example_inputs*.
 
@@ -140,6 +141,11 @@ def compile(  # noqa: A001 - mirrors torch.compile
         lint: validate the IR after every pass (debugging aid).
         cache: use the shared structural-hash transform cache for the
             cleanup stages.
+        verify: run the analysis-backed
+            :class:`~repro.fx.analysis.PassVerifier` after every stage —
+            a pass that introduces a mutation/arena hazard or deletes an
+            effectful node aborts compilation with a
+            :class:`~repro.fx.analysis.VerificationError` naming it.
 
     Returns:
         The optimized, recompiled ``GraphModule``; its ``compile_report``
@@ -202,7 +208,13 @@ def compile(  # noqa: A001 - mirrors torch.compile
     if do_plan:
         stages.append(("memory_plan", memory_plan))
 
-    result = PassManager(stages, lint_after_each=lint, cache=cache).run(gm)
+    verifier = None
+    if verify:
+        from .analysis import PassVerifier
+
+        verifier = PassVerifier()
+    result = PassManager(stages, lint_after_each=lint, cache=cache,
+                         verifier=verifier).run(gm)
     out = result.graph_module
 
     fused_regions = 0

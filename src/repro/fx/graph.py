@@ -335,15 +335,26 @@ class Graph:
             val_map[node] = self.node_copy(node, lambda n: val_map[n])
         return None
 
-    def eliminate_dead_code(self) -> bool:
+    def eliminate_dead_code(
+        self, is_impure_node: Optional[Callable[["Node"], bool]] = None
+    ) -> bool:
         """Remove nodes with no users (except placeholders/outputs).
 
         The basic-block IR makes this a single reverse sweep — no fixpoint
         iteration needed (§5.5).  Returns True if anything was removed.
+
+        Args:
+            is_impure_node: predicate deciding which userless nodes must
+                survive; defaults to :meth:`Node.is_impure`.  The DCE
+                pass supplies a purity-analysis-backed predicate here so
+                the classification is computed (and cached) once per
+                graph instead of once per node.
         """
+        if is_impure_node is None:
+            is_impure_node = lambda n: n.is_impure()  # noqa: E731
         changed = False
         for node in reversed(self.nodes):
-            if not node.is_impure() and len(node.users) == 0:
+            if not is_impure_node(node) and len(node.users) == 0:
                 self.erase_node(node)
                 changed = True
         return changed

@@ -227,28 +227,21 @@ class Node:
     def is_impure(self) -> bool:
         """Whether this node must be preserved by dead-code elimination.
 
-        placeholders and outputs are structurally required.  Everything
-        else in the IR is treated as pure (§5.6 — mutation is undefined
-        behaviour, so the IR assumes functional semantics) — with one
-        pragmatic exception mirroring torch.fx: a ``call_module`` of a
-        module with *known* side effects (a training-mode BatchNorm,
-        whose forward updates its running statistics) is kept alive even
-        when its output is unused.
+        placeholders and outputs are structurally required.  Beyond
+        those, a node is impure when executing it has an observable
+        effect besides producing its value: a ``call_method`` following
+        the trailing-underscore in-place convention (``add_``, ``relu_``),
+        a call routing its result into an ``out=`` destination,
+        ``operator.setitem``/``setattr``, or a ``call_module`` with known
+        state mutation (training-mode BatchNorm updating its running
+        statistics).  The classification itself lives in
+        :func:`repro.fx.analysis.purity.classify_effect` — one source of
+        truth shared with DCE, CSE, and the pass verifier.
         """
-        if self.op in ("placeholder", "output"):
-            return True
-        if self.op == "call_module":
-            owner = getattr(self.graph, "owning_module", None)
-            if owner is not None:
-                from ..nn.norm import _BatchNorm
+        # Local import: analysis is a layer above the core IR.
+        from .analysis.purity import classify_effect
 
-                try:
-                    mod = owner.get_submodule(self.target)
-                except AttributeError:
-                    return False
-                if isinstance(mod, _BatchNorm) and mod.training                         and mod.track_running_stats:
-                    return True
-        return False
+        return classify_effect(self).impure
 
     def format_node(self) -> str:
         """One-line description, matching the paper's Figure 1 style."""

@@ -3,9 +3,13 @@
 The paper (§5.5) notes that general control flow makes CSE "more
 complicated to implement"; on the basic-block fx IR it is a single forward
 sweep with a value-numbering table.  Because the IR is functional (§5.6),
-every ``call_function`` / ``call_method`` / ``get_attr`` node is assumed
-pure and eligible.  ``call_module`` nodes are *not* deduplicated by
-default: modules may hide state (BatchNorm in training mode, Dropout).
+``call_function`` / ``call_method`` / ``get_attr`` nodes are eligible —
+*unless* the purity analysis classifies them as mutating (an in-place
+``add_``, an ``out=`` destination, ``operator.setitem``): two separate
+in-place updates are two effects, and merging them into one changes
+program behaviour even though the value computed is identical.
+``call_module`` nodes are *not* deduplicated by default: modules may
+hide state (BatchNorm in training mode, Dropout).
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ import sys
 from types import FunctionType
 from typing import Any
 
+from ..analysis.engine import AnalysisContext
 from ..graph import _hash_token_for_object
 from ..graph_module import GraphModule
 from ..node import Node
@@ -95,10 +100,15 @@ def eliminate_common_subexpressions(
     eligible = {"call_function", "call_method", "get_attr"}
     if dedupe_modules:
         eligible.add("call_module")
+    purity = AnalysisContext(gm).get("purity").view(gm.graph)
     table: dict[Any, Node] = {}
     removed = 0
     for node in list(gm.graph.nodes):
         if node.op not in eligible:
+            continue
+        if purity.effect(node).mutating:
+            # Each mutating node is its own effect: never a dedupe
+            # source or victim.
             continue
         key = (
             node.op,

@@ -26,6 +26,13 @@ Planning is deliberately conservative:
   stays live until the view itself dies.  A pooled buffer is therefore
   never reclaimed while any alias of it can still be read.
 
+The alias, escape, and extended-liveness facts come from the shared
+:class:`~repro.fx.analysis.alias.AliasAnalysis` (this pass is one
+consumer among several), and the dying-operand schedule check is the
+same :func:`~repro.fx.analysis.mutation.fused_out_clobbers` predicate
+the mutation-hazard checker uses to *reject* unsound plans — planner and
+verifier cannot drift apart.
+
 The plan is recorded as ``node.meta["arena_slot"]``;
 ``Graph.python_code`` emits ``out=<slot>`` for planned calls and
 ``GraphModule.recompile`` keys its codegen cache on the slot assignment.
@@ -34,10 +41,12 @@ The plan is recorded as ``node.meta["arena_slot"]``;
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Optional
 
 import numpy as np
 
+from ..analysis.engine import AnalysisContext
+from ..analysis.mutation import fused_out_clobbers
 from ..graph_module import GraphModule
 from ..node import Node
 from .pointwise_fuser import FusedKernel
@@ -144,125 +153,9 @@ class MemoryPlan:
         )
 
 
-# ---------------------------------------------------------------------------
-# alias classification
-# ---------------------------------------------------------------------------
-
-# repro.functional callables whose result NEVER shares storage with a
-# tensor argument.  Anything not provably fresh is treated as aliasing.
-_FRESH_FUNCTION_NAMES = frozenset({
-    "add", "sub", "mul", "div", "neg", "pow", "matmul", "mm", "bmm",
-    "exp", "log", "sqrt", "rsqrt", "abs", "sin", "cos", "sign", "erf",
-    "clamp", "round", "floor", "where", "maximum", "minimum",
-    "relu", "relu6", "leaky_relu", "elu", "selu", "gelu", "silu", "mish",
-    "sigmoid", "tanh", "hardtanh", "hardsigmoid", "hardswish", "softplus",
-    "softmax", "log_softmax", "linear", "conv1d", "conv2d",
-    "conv_transpose2d", "batch_norm", "layer_norm", "group_norm",
-    "max_pool2d", "avg_pool2d", "adaptive_avg_pool2d", "interpolate",
-    "embedding", "embedding_bag", "one_hot", "cat", "stack", "pad",
-    "sum", "mean", "var", "amax", "amin", "argmax", "cumsum", "topk",
-    "mse_loss", "l1_loss", "nll_loss", "cross_entropy",
-    "binary_cross_entropy",
-})
-
-_FRESH_METHODS = frozenset({
-    "add", "sub", "mul", "div", "neg", "abs", "pow", "matmul", "mm", "bmm",
-    "exp", "log", "sqrt", "rsqrt", "reciprocal", "sin", "cos", "tanh",
-    "erf", "sigmoid", "relu", "gelu", "clamp", "clamp_min", "round",
-    "floor", "sign", "softmax", "sum", "mean", "var", "amax", "amin",
-    "argmax", "cumsum", "topk", "to", "float", "long", "int", "bool",
-    "clone", "copy",
-})
-
-_FRESH_MODULE_NAMES = frozenset({
-    "Linear", "Conv1d", "Conv2d", "ConvTranspose2d",
-    "BatchNorm1d", "BatchNorm2d", "LayerNorm", "GroupNorm",
-    "MaxPool2d", "AvgPool2d", "AdaptiveAvgPool2d", "Upsample",
-    "ReLU", "ReLU6", "LeakyReLU", "ELU", "SELU", "GELU", "SiLU", "Mish",
-    "Sigmoid", "Tanh", "Hardtanh", "Hardsigmoid", "Hardswish", "Softplus",
-    "Softmax", "LogSoftmax", "Embedding", "EmbeddingBag",
-    "MultiheadAttention", "MSELoss", "BCELoss", "CrossEntropyLoss",
-})
-
-
-def _is_repro_functional(fn: Any) -> bool:
-    return getattr(fn, "__module__", "") in ("repro.functional",)
-
-
-def _may_alias(node: Node, gm: GraphModule) -> bool:
-    """May *node*'s output share storage with one of its tensor inputs?
-
-    Conservative: unknown targets alias.  ``reshape``/``transpose``/
-    ``getitem``/``dropout`` (eval) and friends genuinely return views in
-    the numpy substrate.
-    """
-    if node.op in ("placeholder", "get_attr", "output"):
-        return False
-    if node.op == "call_function":
-        target = node.target
-        if isinstance(target, FusedKernel):
-            return False
-        name = getattr(target, "__name__", "")
-        if _is_repro_functional(target):
-            return name not in _FRESH_FUNCTION_NAMES
-        mod = getattr(target, "__module__", "")
-        if mod in ("_operator", "operator"):
-            # getitem (tuple indexing / tensor slicing) aliases; the
-            # arithmetic operators allocate fresh ndarrays.
-            return name == "getitem"
-        return True
-    if node.op == "call_method":
-        return node.target not in _FRESH_METHODS
-    if node.op == "call_module":
-        try:
-            submod = gm.get_submodule(node.target)
-        except Exception:
-            return True
-        return type(submod).__name__ not in _FRESH_MODULE_NAMES
-    return True
-
-
 def _leaf_meta(node: Node) -> Optional[TensorMetadata]:
     meta = node.meta.get("tensor_meta")
     return meta if isinstance(meta, TensorMetadata) else None
-
-
-def _out_may_clobber(node: Node, dead: Node, gm: GraphModule) -> bool:
-    """Would routing *node*'s ``out`` into *dead*'s buffer corrupt *node*?
-
-    Emit steps tolerate ``out`` aliasing their own operands, but that
-    guarantee is per step: a multi-step kernel first writes buffer 0 at
-    some step ``w`` and may read an input again at a later step ``r``.
-    If *dead*'s storage is readable through input ``i`` (directly or via
-    a view) and ``last_read(i) > first_write(out)``, the early write
-    would clobber data a later step still needs.
-    """
-    spec = node.target.spec
-    first_write = next(
-        (j for j, st in enumerate(spec.steps) if st.out_buf == 0),
-        len(spec.steps))
-    if first_write >= len(spec.steps) - 1:
-        return False  # result buffer only written by the final step
-    # Forward alias closure: every node whose value may share storage
-    # with `dead` (dead itself plus transitive view-producing users).
-    closure = {dead}
-    stack = [dead]
-    while stack:
-        m = stack.pop()
-        for u in m.users:
-            if u not in closure and _may_alias(u, gm):
-                closure.add(u)
-                stack.append(u)
-    for pos, a in enumerate(node.args):
-        if not (isinstance(a, Node) and a in closure):
-            continue
-        last_read = max(
-            (j for j, st in enumerate(spec.steps)
-             if ("i", pos) in st.operands),
-            default=-1)
-        if last_read > first_write:
-            return True
-    return False
 
 
 # ---------------------------------------------------------------------------
@@ -285,32 +178,11 @@ def plan_memory(gm: GraphModule) -> MemoryPlan:
     for n in nodes:
         n.meta.pop("arena_slot", None)
 
-    # Alias-extended liveness: a value stays live until the last read of
-    # itself or of any (transitive) view of it.
-    extended_last: dict[Node, int] = {}
-    for n in reversed(nodes):
-        last = order[n]
-        for u in n.users:
-            last = max(last, order[u])
-            if _may_alias(u, gm):
-                last = max(last, extended_last.get(u, order[u]))
-        extended_last[n] = last
-
-    # Escape analysis: anything the caller can still see after `forward`
-    # returns — the output values plus, through aliasing ops, whatever
-    # they might be views of.
-    escapes: set[Node] = set()
-    stack: list[Node] = []
-    for n in nodes:
-        if n.op == "output":
-            stack.extend(n.all_input_nodes)
-    while stack:
-        n = stack.pop()
-        if n in escapes:
-            continue
-        escapes.add(n)
-        if _may_alias(n, gm):
-            stack.extend(n.all_input_nodes)
+    # May-alias, alias-extended liveness, and escape facts all come from
+    # the shared analysis layer (cached across consumers of this graph).
+    alias = AnalysisContext(gm).get("alias").view(graph)
+    extended_last = {n: alias.extended_last(n) for n in nodes}
+    escapes = alias.escaping_nodes
 
     def plannable(n: Node) -> bool:
         return (
@@ -350,7 +222,7 @@ def plan_memory(gm: GraphModule) -> MemoryPlan:
                     dmeta = _leaf_meta(dead)
                     if (tuple(dmeta.shape), dmeta.dtype.name) != key:
                         continue
-                    if _out_may_clobber(n, dead, gm):
+                    if fused_out_clobbers(n, dead, alias.may_alias):
                         continue
                     dying.remove(dead)
                     idx = slot_of[dead]

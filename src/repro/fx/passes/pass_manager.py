@@ -72,6 +72,7 @@ class PassRecord:
     nodes_after: int
     cache_hit: bool = False
     linted: bool = False
+    verified: bool = False
     input_hash: str = ""
     output_hash: str = ""
 
@@ -94,7 +95,7 @@ class PassManagerResult:
 
     def format(self) -> str:
         """Render the per-pass timing / node-delta report as a table."""
-        header = ("pass", "time (ms)", "nodes", "delta", "cache", "lint")
+        header = ("pass", "time (ms)", "nodes", "delta", "cache", "lint", "verify")
         rows = [header]
         for r in self.records:
             delta = f"{r.node_delta:+d}" if r.node_delta else "0"
@@ -105,11 +106,12 @@ class PassManagerResult:
                 delta,
                 "hit" if r.cache_hit else "-",
                 "ok" if r.linted else "-",
+                "ok" if r.verified else "-",
             ))
         rows.append((
             "total",
             f"{self.total_time * 1e3:.3f}",
-            "", "", f"{self.cache_hits}/{len(self.records)}", "",
+            "", "", f"{self.cache_hits}/{len(self.records)}", "", "",
         ))
         widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
         lines = []
@@ -123,13 +125,21 @@ class PassManagerResult:
 @dataclass
 class CacheEntry:
     """One memoized pass result: the output module as pickle bytes plus
-    enough metadata (hash, node count, whether it passed ``lint``) to
-    chain further lookups without unpickling it."""
+    enough metadata (hash, node count, whether it passed ``lint``, and
+    the pass verifier's snapshot of its diagnostics) to chain further
+    lookups without unpickling it.
+
+    ``verify_snapshot`` is only meaningful under the verifier
+    configuration recorded in ``verifier_key`` — a manager running a
+    differently-configured verifier re-verifies the materialized module
+    instead (the same pattern as ``linted``)."""
 
     output_hash: str
     payload: bytes
     node_count: int
     linted: bool = False
+    verify_snapshot: Any = None
+    verifier_key: Any = None
 
 
 class TransformCache:
@@ -226,6 +236,13 @@ class PassManager:
             (lambdas, closures, bound methods) always run uncached —
             regardless of any display name given via a ``(name, fn)``
             pair.
+        verifier: an invariant checker — typically a
+            :class:`repro.fx.analysis.PassVerifier` — snapshotting the
+            pipeline input via ``before_pipeline`` and re-checked via
+            ``after_pass`` after every stage; its exception (naming the
+            offending pass) aborts the pipeline.  Snapshots are persisted
+            into cache entries, so a fully-cached re-run verifies by
+            snapshot comparison without re-analyzing any graph.
 
     Use the *returned* module of :meth:`run`: when a cached result is
     replayed, the input module is left untouched even for passes that
@@ -237,6 +254,7 @@ class PassManager:
         passes: Sequence[Union[Pass, tuple[str, Pass]]],
         lint_after_each: bool = False,
         cache: Union[TransformCache, bool, None] = True,
+        verifier: Optional[Any] = None,
     ):
         self.passes: list[tuple[str, Pass]] = []
         for i, p in enumerate(passes):
@@ -254,6 +272,7 @@ class PassManager:
             self.cache = None
         else:
             self.cache = cache
+        self.verifier = verifier
         self.last_result: Optional[PassManagerResult] = None
 
     def add_pass(self, p: Pass, name: Optional[str] = None) -> "PassManager":
@@ -285,6 +304,10 @@ class PassManager:
         current_hash: Optional[str] = None
         current_nodes = len(gm.graph)
 
+        if self.verifier is not None:
+            current_hash = self._hash(gm)
+            self.verifier.before_pipeline(gm, graph_hash=current_hash or None)
+
         for index, (name, fn) in enumerate(self.passes):
             start = time.perf_counter()
             if current_hash is None:
@@ -310,6 +333,23 @@ class PassManager:
                                 f"{type(exc).__name__}: {exc}"
                             ) from exc
                         entry.linted = True
+                    verified = False
+                    if self.verifier is not None:
+                        vkey = self.verifier.config_key()
+                        if entry.verify_snapshot is not None \
+                                and entry.verifier_key == vkey:
+                            # Verify by snapshot comparison — no unpickle,
+                            # no re-analysis.
+                            self.verifier.advance(name, entry.verify_snapshot)
+                        else:
+                            # Entry from an unverified (or differently
+                            # configured) run: verify the materialized
+                            # module once and remember the snapshot.
+                            hit = self._materialize(hit)
+                            entry.verify_snapshot = self.verifier.after_pass(
+                                name, hit, graph_hash=entry.output_hash or None)
+                            entry.verifier_key = vkey
+                        verified = True
                     records.append(PassRecord(
                         name=name,
                         wall_time=time.perf_counter() - start,
@@ -317,6 +357,7 @@ class PassManager:
                         nodes_after=entry.node_count,
                         cache_hit=True,
                         linted=self.lint_after_each and entry.linted,
+                        verified=verified,
                         input_hash=current_hash,
                         output_hash=entry.output_hash,
                     ))
@@ -370,6 +411,16 @@ class PassManager:
             linted = True
         output_hash = self._hash(gm)
 
+        # Verify *before* caching: an output that regresses an invariant
+        # must never be stored for replay.  The verifier's exception
+        # propagates as-is — it already names the offending pass.
+        verified = False
+        snapshot: Any = None
+        if self.verifier is not None:
+            snapshot = self.verifier.after_pass(
+                name, gm, graph_hash=output_hash or None)
+            verified = True
+
         if self.cache is not None and input_hash and output_hash and cache_token:
             try:
                 payload = pickle.dumps(gm)
@@ -379,7 +430,10 @@ class PassManager:
                 self.cache.store(
                     (cache_token, input_hash),
                     CacheEntry(output_hash, payload, len(gm.graph),
-                               linted=linted))
+                               linted=linted,
+                               verify_snapshot=snapshot,
+                               verifier_key=(self.verifier.config_key()
+                                             if verified else None)))
 
         record = PassRecord(
             name=name,
@@ -388,6 +442,7 @@ class PassManager:
             nodes_after=len(gm.graph),
             cache_hit=False,
             linted=linted,
+            verified=verified,
             input_hash=input_hash or "",
             output_hash=output_hash,
         )

@@ -14,13 +14,21 @@ executes:
    ``const_fold``, ``normalize``, ``fuse``, and the quantization round
    trip — each applied to a fresh copy.  The pipelines run through an
    instrumented :class:`~repro.fx.passes.PassManager` with post-pass
-   ``graph.lint()`` validation enabled, so every fuzz iteration also
-   exercises the managed pass driver and its structural-hash transform
-   cache; and
+   ``graph.lint()`` validation *and* the analysis-backed
+   :class:`~repro.fx.analysis.PassVerifier` enabled, so every fuzz
+   iteration also exercises the managed pass driver, its structural-hash
+   transform cache, and the between-pass invariant checks; and
 6. the full **optimizing compiler** (``repro.fx.compile``: pointwise
-   fusion + memory planning), executed twice so that arena-buffer reuse
-   across calls is exercised — fusion and planning must be
-   semantics-preserving on every generated program.
+   fusion + memory planning, with its pass verifier on), executed twice
+   so that arena-buffer reuse across calls is exercised — fusion and
+   planning must be semantics-preserving on every generated program.
+
+Additionally, every fresh trace is run through the static analyzer
+(:func:`repro.fx.analysis.lint_graph`): an error-severity diagnostic on a
+*generated* program means either the generator produced a genuinely
+hazardous program or the analysis has a false positive — both are bugs,
+so the oracle fails the program under a check named ``analysis:<rule>``
+(a name the minimizer preserves while shrinking).
 
 Any disagreement beyond tolerance, lint failure, or exception is recorded
 as a failing :class:`CheckOutcome`.  Numeric divergences additionally get a
@@ -39,6 +47,7 @@ from typing import Any, Callable, Optional
 import numpy as np
 
 from ...tensor import Tensor
+from ..analysis import PassVerifier, lint_graph
 from ..graph_module import GraphModule
 from ..interpreter import Interpreter
 from ..node import Node
@@ -168,12 +177,19 @@ def _set_eval(gm: GraphModule) -> None:
 #: so each fuzz iteration exercises the managed driver (metrics, error
 #: context, transform cache) rather than ad-hoc pass composition.
 PASS_MANAGERS: dict[str, PassManager] = {
-    "dce": PassManager([eliminate_dead_code], lint_after_each=True),
-    "cse": PassManager([eliminate_common_subexpressions], lint_after_each=True),
-    "const_fold": PassManager([fold_constants], lint_after_each=True),
-    "normalize": PassManager([normalize_args], lint_after_each=True),
+    "dce": PassManager([eliminate_dead_code], lint_after_each=True,
+                       verifier=PassVerifier()),
+    "cse": PassManager([eliminate_common_subexpressions], lint_after_each=True,
+                       verifier=PassVerifier()),
+    "const_fold": PassManager([fold_constants], lint_after_each=True,
+                              verifier=PassVerifier()),
+    "normalize": PassManager([normalize_args], lint_after_each=True,
+                             verifier=PassVerifier()),
+    # eval_mode legitimately turns training BatchNorms pure (their running-
+    # stat update stops), so the effect-preservation invariant is off here.
     "fuse": PassManager([("eval_mode", _set_eval), fuse_conv_bn],
-                        lint_after_each=True),
+                        lint_after_each=True,
+                        verifier=PassVerifier(check_effects=False)),
 }
 
 #: Registered pass pipelines, each ``GraphModule -> GraphModule`` on a copy
@@ -259,6 +275,23 @@ def run_oracle(program: GeneratedProgram, localize: bool = True) -> OracleReport
         report.outcomes.append(CheckOutcome("lint", True))
     except Exception as exc:
         report.outcomes.append(CheckOutcome("lint", False, _exc_summary(exc)))
+
+    # -- static analysis: a freshly generated program must lint clean ------
+    # Each error-severity rule fails as its own named check
+    # ("analysis:<rule>"), so the minimizer's failing-check-name
+    # intersection preserves the triggering diagnostic while shrinking.
+    try:
+        diag_report = lint_graph(gm)
+        if diag_report.errors:
+            for rule in sorted({d.rule for d in diag_report.errors}):
+                first = next(d for d in diag_report.errors if d.rule == rule)
+                report.outcomes.append(CheckOutcome(
+                    f"analysis:{rule}", False,
+                    first.format().splitlines()[0]))
+        else:
+            report.outcomes.append(CheckOutcome("analysis", True))
+    except Exception as exc:
+        report.outcomes.append(CheckOutcome("analysis", False, _exc_summary(exc)))
 
     check_numeric("codegen", lambda: gm(*inputs), EXACT_ATOL)
     check_numeric("interpreter", lambda: Interpreter(gm).run(*inputs), EXACT_ATOL)

@@ -1,0 +1,604 @@
+"""Tests for the unified dataflow analysis framework (repro.fx.analysis):
+the fixpoint engine, the four shipped analyses, structural-hash result
+caching, golden diagnostics per lint rule (with stack-trace provenance),
+the graph-lint CLI, and the purity-aware DCE/CSE regressions."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+import repro
+import repro.functional as F
+from repro import nn
+from repro.fx import GraphModule, Graph, symbolic_trace
+from repro.fx.analysis import (
+    Analysis,
+    AnalysisContext,
+    AnalysisError,
+    Effect,
+    Severity,
+    analysis_cache_info,
+    analyze,
+    classify_effect,
+    clear_analysis_cache,
+    fixpoint,
+    get_analysis,
+    lint_graph,
+    may_alias_input,
+    register_analysis,
+    register_rule,
+    registered_analyses,
+    registered_rules,
+)
+from repro.fx.analysis import engine as engine_mod
+from repro.fx.analysis import diagnostics as diagnostics_mod
+from repro.fx.analysis.__main__ import main as lint_cli
+from repro.fx.passes import ShapeProp
+from repro.fx.passes.cse import eliminate_common_subexpressions
+from repro.fx.passes.dce import eliminate_dead_code
+
+
+class Linear2(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc = nn.Linear(8, 8)
+
+    def forward(self, x):
+        return self.fc(x).relu()
+
+
+class InplaceUnused(nn.Module):
+    """The DCE bug shape: a dead in-place write whose buffer is read."""
+
+    def forward(self, x):
+        y = x + 1.0
+        y.add_(1.0)     # result unused, but mutates y
+        return y * 2.0
+
+
+# ---------------------------------------------------------------------------
+# fixpoint engine
+# ---------------------------------------------------------------------------
+
+
+class TestFixpoint:
+    def _nodes(self):
+        gm = symbolic_trace(Linear2())
+        return gm, list(gm.graph.nodes)
+
+    def test_forward_depth(self):
+        _, nodes = self._nodes()
+        facts, stats = fixpoint(
+            nodes,
+            lambda n, fact: 1 + max((fact(a) or 0 for a in n.all_input_nodes),
+                                    default=-1),
+            direction="forward", init=None)
+        assert facts[nodes[0]] == 0          # placeholder
+        assert facts[nodes[-1]] == len(nodes) - 1  # straight-line chain
+        assert stats.rounds >= 1 and stats.visits >= len(nodes)
+
+    def test_backward_users_count(self):
+        _, nodes = self._nodes()
+        facts, _ = fixpoint(
+            nodes,
+            lambda n, fact: len(n.users) + sum(fact(u) or 0 for u in n.users),
+            direction="backward", init=None)
+        assert facts[nodes[-1]] == 0  # output has no users
+        assert facts[nodes[0]] >= 1
+
+    def test_one_round_convergence_on_dag(self):
+        # A transfer reading only already-swept facts converges in
+        # round 1 (+1 verification round).
+        _, nodes = self._nodes()
+        _, stats = fixpoint(nodes, lambda n, fact: n.op, init=None)
+        assert stats.rounds == 2
+
+    def test_divergent_transfer_raises(self):
+        _, nodes = self._nodes()
+        with pytest.raises(AnalysisError, match="did not converge"):
+            fixpoint(nodes, lambda n, fact: (fact(n) or 0) + 1,
+                     init=None, max_rounds=5)
+
+    def test_bad_direction_rejected(self):
+        _, nodes = self._nodes()
+        with pytest.raises(ValueError):
+            fixpoint(nodes, lambda n, fact: None, direction="sideways")
+
+
+# ---------------------------------------------------------------------------
+# registry + context
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_shipped_analyses_registered(self):
+        assert {"alias", "purity", "dtype", "mutation"} <= set(registered_analyses())
+
+    def test_unknown_analysis_raises(self):
+        with pytest.raises(AnalysisError, match="no analysis registered"):
+            get_analysis("does-not-exist")
+
+    def test_custom_analysis_with_dependency(self):
+        @register_analysis
+        class CountEscaping(Analysis):
+            name = "test-count-escaping"
+            requires = ("alias",)
+
+            def compute(self, gm, ctx):
+                return len(ctx.get("alias").escapes)
+
+        try:
+            gm = symbolic_trace(Linear2())
+            assert analyze(gm, ["test-count-escaping"]).get(
+                "test-count-escaping") >= 1
+        finally:
+            engine_mod._REGISTRY.pop("test-count-escaping")
+
+    def test_circular_dependency_detected(self):
+        @register_analysis
+        class A(Analysis):
+            name = "test-cyc-a"
+            requires = ("test-cyc-b",)
+
+            def compute(self, gm, ctx):
+                return ctx.get("test-cyc-b")
+
+        @register_analysis
+        class B(Analysis):
+            name = "test-cyc-b"
+            requires = ("test-cyc-a",)
+
+            def compute(self, gm, ctx):
+                return ctx.get("test-cyc-a")
+
+        try:
+            with pytest.raises(AnalysisError, match="circular"):
+                analyze(symbolic_trace(Linear2()), ["test-cyc-a"])
+        finally:
+            engine_mod._REGISTRY.pop("test-cyc-a")
+            engine_mod._REGISTRY.pop("test-cyc-b")
+
+    def test_context_requires_graph_module(self):
+        with pytest.raises(TypeError):
+            AnalysisContext(object())
+
+
+class TestResultCaching:
+    def test_structurally_identical_graph_hits_cache(self):
+        clear_analysis_cache()
+        m = Linear2()
+        analyze(symbolic_trace(m), ["alias"])
+        before = analysis_cache_info()
+        # A pickled copy has the same structural hash -> pure lookup.
+        ctx2 = analyze(pickle.loads(pickle.dumps(symbolic_trace(m))), ["alias"])
+        after = analysis_cache_info()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+        # The positional result rebinds to the copy's own nodes.
+        view = ctx2.get("alias").view(ctx2.gm.graph)
+        assert view.escapes(list(ctx2.gm.graph.nodes)[-2])
+
+    def test_cache_disabled_context_recomputes(self):
+        clear_analysis_cache()
+        gm = symbolic_trace(Linear2())
+        analyze(gm, ["alias"], cache=False)
+        assert analysis_cache_info()["size"] == 0
+
+    def test_unstable_hash_graph_skips_cache(self):
+        # A fused graph's FusedKernel target only has id() identity; the
+        # context must decline to cache rather than key on it.
+        from repro.fx.passes.pointwise_fuser import fuse_pointwise
+
+        m = nn.Sequential(nn.Linear(4, 4), nn.ReLU())
+
+        class Wrap(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.m = m
+
+            def forward(self, x):
+                return F.sigmoid(self.m(x) * 2.0) + 1.0
+
+        gm = symbolic_trace(Wrap())
+        x = repro.randn(2, 4)
+        ShapeProp(gm).propagate(x)
+        fuse_pointwise(gm)
+        ctx = AnalysisContext(gm)
+        assert ctx.graph_hash() is None
+        clear_analysis_cache()
+        ctx.get("alias")
+        assert analysis_cache_info()["size"] == 0
+
+    def test_view_rejects_wrong_graph(self):
+        res = analyze(symbolic_trace(Linear2()), ["alias"]).get("alias")
+        other = symbolic_trace(InplaceUnused())
+        with pytest.raises(ValueError, match="cannot bind"):
+            res.view(other.graph)
+
+
+# ---------------------------------------------------------------------------
+# alias analysis
+# ---------------------------------------------------------------------------
+
+
+class TestAliasAnalysis:
+    def test_fresh_vs_view_classification(self):
+        class M(nn.Module):
+            def forward(self, x):
+                a = F.relu(x)                 # fresh
+                v = F.reshape(a, (-1,))       # view
+                return F.sum(v)
+
+        gm = symbolic_trace(M())
+        by_name = {n.name: n for n in gm.graph.nodes}
+        assert not may_alias_input(by_name["relu"], gm)
+        assert may_alias_input(by_name["reshape"], gm)
+
+    def test_inplace_method_aliases(self):
+        gm = symbolic_trace(InplaceUnused())
+        node = next(n for n in gm.graph.nodes if n.target == "add_")
+        assert may_alias_input(node, gm)
+
+    def test_escape_through_view_chain(self):
+        class M(nn.Module):
+            def forward(self, x):
+                t = F.sigmoid(x) + 1.0
+                return F.reshape(t, (-1,))
+
+        gm = symbolic_trace(M())
+        view = analyze(gm, ["alias"]).get("alias").view(gm.graph)
+        add = next(n for n in gm.graph.nodes if n.name == "add")
+        assert view.escapes(add)  # escapes through the reshape view
+
+    def test_extended_liveness_through_live_view(self):
+        class M(nn.Module):
+            def forward(self, x):
+                a = F.relu(x)
+                v = F.reshape(a, (8, 8))      # view of a
+                b = F.sigmoid(x)
+                s = F.matmul(v, v)            # v (hence a) read here
+                return F.sum(s) + F.sum(b)
+
+        gm = symbolic_trace(M())
+        view = analyze(gm, ["alias"]).get("alias").view(gm.graph)
+        by_name = {n.name: n for n in gm.graph.nodes}
+        order = {n: i for i, n in enumerate(gm.graph.nodes)}
+        # a's buffer must stay live until the matmul that reads its view.
+        assert view.extended_last(by_name["relu"]) == order[by_name["matmul"]]
+
+
+# ---------------------------------------------------------------------------
+# purity / is_impure / DCE / CSE
+# ---------------------------------------------------------------------------
+
+
+class TestPurity:
+    def test_classification_table(self):
+        gm = symbolic_trace(InplaceUnused())
+        effects = {n.name: classify_effect(n) for n in gm.graph.nodes}
+        assert effects["x"] is Effect.STRUCTURAL
+        assert effects["add"] is Effect.PURE
+        assert effects["add_"] is Effect.MUTATES_ARG
+        assert effects["output"] is Effect.STRUCTURAL
+
+    def test_out_kwarg_is_mutation(self):
+        g = Graph()
+        x = g.placeholder("x")
+        dst = g.call_function(F.relu, (x,))
+        y = g.call_function(F.add, (x, 1.0), {"out": dst})
+        g.output(y)
+        gm = GraphModule(nn.Module(), g)
+        assert classify_effect(y) is Effect.MUTATES_ARG
+        assert y.is_impure()
+
+    def test_setitem_is_mutation(self):
+        import operator
+
+        g = Graph()
+        x = g.placeholder("x")
+        s = g.call_function(operator.setitem, (x, 0, 1.0))
+        g.output(x)
+        GraphModule(nn.Module(), g)
+        assert classify_effect(s) is Effect.MUTATES_ARG
+
+    def test_training_batchnorm_mutates_state(self):
+        class M(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.bn = nn.BatchNorm1d(4)
+
+            def forward(self, x):
+                return self.bn(x)
+
+        gm = symbolic_trace(M().train())
+        bn = next(n for n in gm.graph.nodes if n.op == "call_module")
+        assert classify_effect(bn, gm) is Effect.MUTATES_STATE
+        gm.eval()
+        assert classify_effect(bn, gm) is Effect.PURE
+
+    def test_dunder_method_not_inplace(self):
+        from repro.fx.analysis import is_inplace_method
+
+        assert is_inplace_method("add_")
+        assert not is_inplace_method("__add__")
+        assert not is_inplace_method("_")
+
+    def test_dce_keeps_dead_inplace_write(self):
+        m = InplaceUnused()
+        x = repro.randn(4)
+        ref = m(x)
+        gm = symbolic_trace(m)
+        removed = eliminate_dead_code(gm)
+        assert removed == 0  # the dead add_ must survive
+        assert any(n.target == "add_" for n in gm.graph.nodes)
+        assert np.array_equal(gm(x).data, ref.data)
+
+    def test_dce_still_removes_dead_pure_nodes(self):
+        class M(nn.Module):
+            def forward(self, x):
+                _ = F.relu(x)  # dead and pure
+                return x + 1.0
+
+        gm = symbolic_trace(M())
+        assert eliminate_dead_code(gm) == 1
+
+    def test_cse_does_not_merge_inplace_updates(self):
+        class M(nn.Module):
+            def forward(self, x):
+                y = x + 0.0
+                y.add_(1.0)
+                y.add_(1.0)   # identical call, distinct effect
+                return y
+
+        m = M()
+        x = repro.randn(4)
+        ref = m(repro.tensor(x.data.copy()))
+        gm = symbolic_trace(m)
+        assert eliminate_common_subexpressions(gm) == 0
+        assert sum(1 for n in gm.graph.nodes if n.target == "add_") == 2
+        assert np.array_equal(gm(repro.tensor(x.data.copy())).data, ref.data)
+
+    def test_cse_still_merges_pure_duplicates(self):
+        class M(nn.Module):
+            def forward(self, x):
+                return F.relu(x) + F.relu(x)
+
+        gm = symbolic_trace(M())
+        assert eliminate_common_subexpressions(gm) == 1
+
+
+# ---------------------------------------------------------------------------
+# dtype promotion
+# ---------------------------------------------------------------------------
+
+
+class TestDtypePromotion:
+    def _lint(self, module, *inputs):
+        gm = symbolic_trace(module)
+        ShapeProp(gm).propagate(*inputs)
+        return gm, analyze(gm, ["dtype"]).get("dtype")
+
+    def test_silent_upcast_flagged(self):
+        class M(nn.Module):
+            def forward(self, x):
+                return x + np.float64(2.0)
+
+        _, res = self._lint(M(), repro.randn(4, 4))
+        assert len(res.upcasts) == 1
+        assert res.upcasts[0].input_dtypes == ("float32",)
+        assert res.upcasts[0].result_dtype == "float64"
+
+    def test_downstream_of_upcast_blames_producer_only(self):
+        class M(nn.Module):
+            def forward(self, x):
+                y = x + np.float64(2.0)   # the silent widening
+                return y * 2.0            # float64 in, float64 out: quiet
+
+        gm, res = self._lint(M(), repro.randn(4, 4))
+        assert len(res.upcasts) == 1
+        assert res.upcasts[0].node_name == "add"
+
+    def test_float32_program_is_quiet(self):
+        _, res = self._lint(Linear2(), repro.randn(2, 8))
+        assert res.upcasts == ()
+
+    def test_no_metadata_no_reports(self):
+        gm = symbolic_trace(Linear2())  # no ShapeProp
+        res = analyze(gm, ["dtype"]).get("dtype")
+        assert res.upcasts == ()
+
+
+# ---------------------------------------------------------------------------
+# diagnostics: one golden test per rule
+# ---------------------------------------------------------------------------
+
+
+class TestDiagnostics:
+    def test_rule_registry_complete(self):
+        assert {"mutation-hazard", "arena-hazard", "caller-visible-write",
+                "float64-upcast", "impure-unused",
+                "aliased-output"} <= set(registered_rules())
+
+    def test_mutation_hazard_golden(self):
+        class M(nn.Module):
+            def forward(self, x):
+                v = F.reshape(x, (-1,))
+                x.add_(1.0)            # clobbers v's storage
+                return F.sum(v)
+
+        report = lint_graph(symbolic_trace(M()))
+        errs = report.by_rule("mutation-hazard")
+        assert len(errs) == 1
+        d = errs[0]
+        assert d.severity is Severity.ERROR
+        assert d.node_name == "add_" and d.op == "call_method"
+        assert "still read" in d.message
+        assert not report.ok
+
+    def test_caller_visible_write_golden(self):
+        class M(nn.Module):
+            def forward(self, x):
+                return x.mul_(2.0)
+
+        report = lint_graph(symbolic_trace(M()))
+        warns = report.by_rule("caller-visible-write")
+        assert len(warns) == 1
+        assert warns[0].severity is Severity.WARNING
+        assert "function input" in warns[0].message
+
+    def test_float64_upcast_golden(self):
+        class M(nn.Module):
+            def forward(self, x):
+                return x * np.float64(3.0)
+
+        gm = symbolic_trace(M())
+        ShapeProp(gm).propagate(repro.randn(2, 2))
+        report = lint_graph(gm)
+        ups = report.by_rule("float64-upcast")
+        assert len(ups) == 1 and ups[0].severity is Severity.WARNING
+        assert "float64" in ups[0].message
+
+    def test_impure_unused_golden(self):
+        report = lint_graph(symbolic_trace(InplaceUnused()))
+        notes = report.by_rule("impure-unused")
+        assert len(notes) == 1
+        assert notes[0].severity is Severity.NOTE
+        assert notes[0].node_name == "add_"
+
+    def test_aliased_output_golden(self):
+        class M(nn.Module):
+            def forward(self, x):
+                return F.reshape(x, (-1,))
+
+        report = lint_graph(symbolic_trace(M()))
+        notes = report.by_rule("aliased-output")
+        assert len(notes) == 1
+        assert notes[0].op == "placeholder"
+
+    def test_stack_trace_provenance(self):
+        class M(nn.Module):
+            def forward(self, x):
+                return x.mul_(2.0)
+
+        report = lint_graph(symbolic_trace(M()))
+        d = report.by_rule("caller-visible-write")[0]
+        assert d.stack_trace and "in forward" in d.stack_trace
+        assert d.stack_trace in d.format()
+
+    def test_report_format_and_severity_filter(self):
+        report = lint_graph(symbolic_trace(InplaceUnused()))
+        full = report.format()
+        assert "error[mutation-hazard]" in full
+        assert "note[impure-unused]" in full
+        errors_only = report.format(min_severity=Severity.ERROR)
+        assert "impure-unused" not in errors_only
+        assert "error(s)" in errors_only
+
+    def test_custom_rule_participates(self):
+        from repro.fx.analysis import Diagnostic
+
+        @register_rule("test-no-matmul", Severity.NOTE, requires=())
+        def no_matmul(gm, ctx):
+            for i, n in enumerate(gm.graph.nodes):
+                if getattr(n.target, "__name__", "") == "matmul":
+                    yield Diagnostic.for_node(
+                        "test-no-matmul", Severity.NOTE, "matmul found", n, i)
+
+        try:
+            class M(nn.Module):
+                def forward(self, x):
+                    return F.matmul(x, x)
+
+            report = lint_graph(symbolic_trace(M()))
+            assert len(report.by_rule("test-no-matmul")) == 1
+        finally:
+            diagnostics_mod._RULES.pop("test-no-matmul")
+
+    def test_rule_subset_selection(self):
+        report = lint_graph(symbolic_trace(InplaceUnused()),
+                            rules=["impure-unused"])
+        assert {d.rule for d in report.diagnostics} == {"impure-unused"}
+
+
+# ---------------------------------------------------------------------------
+# the CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCLI:
+    def test_clean_module_exits_zero(self, capsys):
+        rc = lint_cli(["repro.models:resnet18"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 error(s)" in out
+
+    def test_error_finding_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad_model.py"
+        bad.write_text(
+            "import repro.functional as F\n"
+            "from repro import nn\n\n"
+            "class Bad(nn.Module):\n"
+            "    def forward(self, x):\n"
+            "        v = F.reshape(x, (-1,))\n"
+            "        x.add_(1.0)\n"
+            "        return F.sum(v)\n")
+        rc = lint_cli([f"{bad}:Bad"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "error[mutation-hazard]" in out
+        assert "in forward" in out  # source provenance printed
+
+    def test_shapes_enable_dtype_rules(self, tmp_path, capsys):
+        up = tmp_path / "upcast_model.py"
+        up.write_text(
+            "import numpy as np\n"
+            "from repro import nn\n\n"
+            "class Up(nn.Module):\n"
+            "    def forward(self, x):\n"
+            "        return x + np.float64(1.0)\n")
+        rc = lint_cli([f"{up}:Up", "--shapes", "2,3"])
+        out = capsys.readouterr().out
+        assert rc == 0  # warnings never fail the run
+        assert "float64-upcast" in out
+
+    def test_list_rules(self, capsys):
+        assert lint_cli(["--list-rules", "ignored:ignored"]) == 0
+        out = capsys.readouterr().out
+        assert "mutation-hazard" in out and "arena-hazard" in out
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            lint_cli(["no-colon-here"])
+
+
+# ---------------------------------------------------------------------------
+# smoke: the model zoo and examples lint clean
+# ---------------------------------------------------------------------------
+
+
+class TestLintCleanSmoke:
+    @pytest.mark.parametrize("factory,kwargs,shape", [
+        ("MLP", {"in_features": 784, "hidden": (128,), "out_features": 10},
+         (2, 784)),
+        ("SimpleCNN", {}, (1, 3, 32, 32)),
+        ("resnet18", {}, (1, 3, 64, 64)),
+        ("deep_recommender", {}, (2, 17768)),
+    ])
+    def test_models_lint_clean(self, factory, kwargs, shape):
+        import repro.models as models
+
+        model = getattr(models, factory)(**kwargs)
+        model.eval()
+        gm = symbolic_trace(model)
+        ShapeProp(gm).propagate(repro.randn(*shape))
+        report = lint_graph(gm)
+        assert report.ok, report.format()
+        assert not report.warnings, report.format()
+
+    def test_example_module_lints_clean_via_cli(self, capsys):
+        rc = lint_cli(["examples/analyze_and_schedule.py:TwoTower",
+                       "--shapes", "2,256", "--shapes", "2,256"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "0 error(s)" in out

@@ -1,0 +1,330 @@
+"""Tests for the analysis-backed PassVerifier: snapshot/advance semantics,
+PassManager integration (including the cached-snapshot fast path), and the
+headline regression — resurrecting the PR-3 unsound arena-reuse planner as
+a mutant pass and asserting the verifier rejects the pipeline naming it."""
+
+import numpy as np
+import pytest
+
+import repro
+import repro.functional as F
+from repro import nn
+from repro.fx import GraphModule, symbolic_trace
+from repro.fx.analysis import (
+    PassVerifier,
+    Severity,
+    VerificationError,
+    analyze,
+    clear_analysis_cache,
+)
+from repro.fx.passes import PassManager, ShapeProp, shared_transform_cache
+from repro.fx.passes.memory_planner import Arena, ArenaSlot, _leaf_meta, plan_memory
+from repro.fx.passes.pointwise_fuser import FusedKernel, fuse_pointwise
+
+
+class TailReadModel(nn.Module):
+    """x is read again *after* two more fusable chains have run — the shape
+    that exposed the PR-3 arena-reuse bug."""
+
+    def forward(self, a, c):
+        x = F.exp(a) * F.sin(a)
+        y = F.matmul(x, x)
+        w = F.mul(F.sin(F.exp(c)), x)
+        return F.matmul(y, w)
+
+
+class InplaceModel(nn.Module):
+    def forward(self, x):
+        y = x + 1.0
+        y.add_(1.0)
+        return y * 2.0
+
+
+def _prepare(module, *inputs):
+    gm = symbolic_trace(module)
+    ShapeProp(gm).propagate(*inputs)
+    fuse_pointwise(gm)
+    ShapeProp(gm).propagate(*inputs)
+    return gm
+
+
+# ---------------------------------------------------------------------------
+# the mutant: PR 3's planner bug, verbatim in shape
+# ---------------------------------------------------------------------------
+
+
+def unsound_plan_memory(gm: GraphModule) -> None:
+    """The pre-fix arena planner: slots of values dying at step *i* are
+    returned to the pool *before* node *i*'s own ``out`` slot is chosen,
+    and no step-schedule clobber check is made.  A multi-step fused kernel
+    whose result buffer steals a dying operand's slot then overwrites that
+    operand before its final read (commit bb5be47 fixed this)."""
+    graph = gm.graph
+    nodes = list(graph.nodes)
+
+    for n in nodes:
+        n.meta.pop("arena_slot", None)
+
+    alias = analyze(gm, ["alias"], cache=False).get("alias").view(graph)
+    extended_last = {n: alias.extended_last(n) for n in nodes}
+    escapes = alias.escaping_nodes
+
+    def plannable(n):
+        return (n.op == "call_function" and isinstance(n.target, FusedKernel)
+                and n not in escapes and bool(n.users)
+                and _leaf_meta(n) is not None)
+
+    dying_at = {}
+    for n in nodes:
+        if plannable(n):
+            dying_at.setdefault(extended_last[n], []).append(n)
+
+    arena = Arena()
+    pool = {}
+    slot_of = {}
+    planned = False
+    for i, n in enumerate(nodes):
+        # BUG: free dying slots first, so n's own out can grab the slot of
+        # an operand whose last read happens *during* n.
+        for dead in dying_at.get(i, ()):
+            dmeta = _leaf_meta(dead)
+            dkey = (tuple(dmeta.shape), dmeta.dtype.name)
+            pool.setdefault(dkey, []).append(slot_of[dead])
+        if not plannable(n):
+            continue
+        meta = _leaf_meta(n)
+        key = (tuple(meta.shape), meta.dtype.name)
+        avail = pool.get(key)
+        if avail:
+            idx = avail.pop()
+        else:
+            idx = arena.add_slot(tuple(meta.shape),
+                                 np.dtype(meta.dtype.np_dtype).name)
+        slot_of[n] = idx
+        n.meta["arena_slot"] = ArenaSlot(arena, idx)
+        planned = True
+    if planned:
+        gm.recompile()
+
+
+# ---------------------------------------------------------------------------
+# snapshot / advance semantics
+# ---------------------------------------------------------------------------
+
+
+class TestSnapshotSemantics:
+    def test_clean_pipeline_rolls_baseline_forward(self):
+        gm = symbolic_trace(InplaceModel())
+        v = PassVerifier()
+        first = v.before_pipeline(gm)
+        assert v.baseline == first
+        second = v.after_pass("noop", gm)
+        assert v.baseline == second == first
+
+    def test_preexisting_errors_are_tolerated(self):
+        # The verifier gates passes, not user code: a graph that already
+        # has a hazard passes through unchanged.
+        class Hazard(nn.Module):
+            def forward(self, x):
+                v = F.reshape(x, (-1,))
+                x.add_(1.0)
+                return F.sum(v)
+
+        gm = symbolic_trace(Hazard())
+        v = PassVerifier()
+        v.before_pipeline(gm)
+        v.after_pass("noop", gm)  # same errors before and after: fine
+
+    def test_introduced_hazard_names_the_pass(self):
+        class Clean(nn.Module):
+            def forward(self, x):
+                y = x + 1.0
+                return F.sum(F.reshape(y, (-1,))) * 2.0
+
+        v = PassVerifier()
+        v.before_pipeline(symbolic_trace(Clean()))
+
+        # "Optimize" into an in-place write that clobbers a still-read
+        # view — a hazard the input graph did not have.
+        class Evil(nn.Module):
+            def forward(self, x):
+                y = x + 1.0
+                v = F.reshape(y, (-1,))
+                y.add_(1.0)
+                return F.sum(v) * 2.0
+
+        with pytest.raises(VerificationError) as exc_info:
+            v.after_pass("evil_rewrite", symbolic_trace(Evil()))
+        err = exc_info.value
+        assert err.pass_name == "evil_rewrite"
+        assert any(d.rule == "mutation-hazard" for d in err.diagnostics)
+        assert "evil_rewrite" in str(err)
+
+    def test_vanished_effect_detected(self):
+        gm = symbolic_trace(InplaceModel())
+        v = PassVerifier()
+        v.before_pipeline(gm)
+
+        class Pruned(nn.Module):
+            def forward(self, x):
+                y = x + 1.0
+                return y * 2.0  # the add_ was "dead", so it got deleted
+
+        with pytest.raises(VerificationError, match="effectful"):
+            v.after_pass("bad_dce", symbolic_trace(Pruned()))
+
+    def test_check_effects_false_allows_purification(self):
+        gm = symbolic_trace(InplaceModel())
+        v = PassVerifier(check_effects=False)
+        v.before_pipeline(gm)
+
+        class Pruned(nn.Module):
+            def forward(self, x):
+                return (x + 1.0) * 2.0
+
+        v.after_pass("eval_mode_ish", symbolic_trace(Pruned()))
+
+    def test_advance_verifies_precomputed_snapshots(self):
+        class Clean(nn.Module):
+            def forward(self, x):
+                return (x + 1.0) * 2.0
+
+        clean = symbolic_trace(Clean())
+
+        class Evil(nn.Module):
+            def forward(self, x):
+                y = x + 1.0
+                v = F.reshape(y, (-1,))
+                y.add_(1.0)
+                return F.sum(v) * 2.0
+
+        v = PassVerifier(check_effects=False)
+        base = v.snapshot(clean)
+        bad = v.snapshot(symbolic_trace(Evil()))
+        v.adopt(base)
+        with pytest.raises(VerificationError, match="cached result"):
+            v.advance("replayed_pass", bad)
+        # A clean replay rolls the baseline forward instead.
+        v.adopt(base)
+        assert v.advance("replayed_pass", base) == base == v.baseline
+
+    def test_config_key_distinguishes_configs(self):
+        assert PassVerifier().config_key() != \
+            PassVerifier(check_effects=False).config_key()
+        assert PassVerifier().config_key() != \
+            PassVerifier(min_severity=Severity.WARNING).config_key()
+
+
+# ---------------------------------------------------------------------------
+# the headline test: PR 3's bug is now caught statically
+# ---------------------------------------------------------------------------
+
+
+class TestUnsoundPlannerRejected:
+    def _inputs(self):
+        return repro.randn(6, 6), repro.randn(6, 6)
+
+    def test_mutant_planner_fails_verification(self):
+        a, c = self._inputs()
+        gm = _prepare(TailReadModel(), a, c)
+        pm = PassManager([("unsound_plan_memory", unsound_plan_memory)],
+                         cache=False, verifier=PassVerifier())
+        with pytest.raises(VerificationError) as exc_info:
+            pm.run(gm)
+        err = exc_info.value
+        assert err.pass_name == "unsound_plan_memory"
+        assert any(d.rule == "arena-hazard" for d in err.diagnostics)
+        assert "arena-clobber" in str(err)
+
+    def test_mutant_really_is_wrong(self):
+        # The static verdict matches the dynamic one: the mutant plan
+        # produces numerically wrong output.
+        a, c = self._inputs()
+        ref = TailReadModel()(a, c)
+        gm = _prepare(TailReadModel(), a, c)
+        unsound_plan_memory(gm)
+        assert not np.allclose(gm(a, c).data, ref.data)
+
+    def test_sound_planner_passes_verification(self):
+        a, c = self._inputs()
+        gm = _prepare(TailReadModel(), a, c)
+        ref = TailReadModel()(a, c)
+        pm = PassManager([("plan_memory", plan_memory)],
+                         cache=False, verifier=PassVerifier())
+        result = pm.run(gm)
+        assert result.records[-1].verified
+        assert np.allclose(result.graph_module(a, c).data, ref.data)
+
+
+# ---------------------------------------------------------------------------
+# PassManager integration
+# ---------------------------------------------------------------------------
+
+
+class TestPassManagerIntegration:
+    def test_verified_column_in_report(self):
+        gm = symbolic_trace(InplaceModel())
+        pm = PassManager([("noop", lambda g: None)], cache=False,
+                         verifier=PassVerifier())
+        result = pm.run(gm)
+        assert result.records[0].verified
+        assert "verify" in result.format()
+
+    def test_rejected_output_is_not_cached(self):
+        shared_transform_cache().clear()
+        clear_analysis_cache()
+        a, c = repro.randn(6, 6), repro.randn(6, 6)
+
+        def run_once():
+            gm = _prepare(TailReadModel(), a, c)
+            pm = PassManager([("unsound_plan_memory", unsound_plan_memory)],
+                             cache=True, verifier=PassVerifier())
+            with pytest.raises(VerificationError):
+                pm.run(gm)
+
+        run_once()
+        # A rejected output is never stored, so a second run must fail
+        # again from a live re-execution, never a poisoned replay.
+        assert len(shared_transform_cache()) == 0
+        hits_before = shared_transform_cache().hits
+        run_once()
+        assert shared_transform_cache().hits == hits_before
+
+    def test_cache_hit_adopts_stored_snapshot(self):
+        shared_transform_cache().clear()
+        clear_analysis_cache()
+        x = repro.randn(4, 4)
+
+        class M(nn.Module):
+            def forward(self, x):
+                y = x + 1.0
+                y.add_(1.0)
+                _ = F.relu(x)  # dead and pure: DCE has work to do
+                return y * 2.0
+
+        from repro.fx.passes.dce import eliminate_dead_code
+
+        def run():
+            gm = symbolic_trace(M())
+            ShapeProp(gm).propagate(x)
+            pm = PassManager([("dce", eliminate_dead_code)],
+                             cache=True, verifier=PassVerifier())
+            return pm.run(gm)
+
+        first = run()
+        assert not first.records[0].cache_hit and first.records[0].verified
+        second = run()
+        assert second.records[0].cache_hit and second.records[0].verified
+        # DCE kept the effectful add_ in both runs.
+        assert any(n.target == "add_"
+                   for n in second.graph_module.graph.nodes)
+
+    def test_compile_verify_flag(self):
+        x = repro.randn(4, 8)
+        model = nn.Sequential(nn.Linear(8, 8), nn.ReLU())
+        model.eval()
+        ref = model(x)
+        fast = repro.fx.compile(model, (x,), verify=True, cache=False)
+        assert np.allclose(fast(x).data, ref.data)
+        verified = [r for r in fast.compile_report.records if r.verified]
+        assert verified  # the verifier actually ran
