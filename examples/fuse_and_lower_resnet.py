@@ -1,20 +1,24 @@
-"""Conv-BN fusion and TensorRT-style lowering of ResNet (§6.2.2, §6.4).
+"""Conv-BN fusion and backend lowering of ResNet (§6.2.2, §6.4).
 
-Shows the two performance workflows the paper evaluates:
+Shows the two performance workflows the paper evaluates, on the current
+API surface:
   * fuse_conv_bn — folds BatchNorm into the preceding convolution's
     weights (Figure 7's transform, < 150 lines in repro.fx.passes.fuser);
-  * lower_to_trt — compiles the whole graph into a flat execution engine
-    with fused epilogues and pre-resolved weights (Figure 8's pipeline).
+  * fx.to_backend — the one lowering entrypoint: backend-preferred
+    passes, capability partitioning, per-partition compilation with a
+    structural-hash memo, eager fallback for unsupported operators
+    (Figure 8's pipeline; lower_to_trt is a thin wrapper over it).
 
 Run:  python examples/fuse_and_lower_resnet.py
 """
 
 import repro
+import repro.fx as fx
 from repro.bench import measure, print_table
 from repro.fx import symbolic_trace
+from repro.fx.backends import override_support
 from repro.fx.passes import fuse_conv_bn
 from repro.models import resnet18
-from repro.trt import lower_to_trt
 
 
 def main() -> None:
@@ -29,13 +33,30 @@ def main() -> None:
     print(f"graph nodes: {n_before} -> {n_after} after conv-bn fusion")
     assert repro.allclose(gm(x), fused(x), rtol=1e-3, atol=1e-4)
 
-    lowered = lower_to_trt(model)
+    # fully supported: to_backend returns the backend's native module
+    lowered = fx.to_backend(model, "trt")
     print(f"engine: {lowered.engine!r}")
     assert repro.allclose(model(x), lowered(x), rtol=1e-3, atol=1e-4)
+    print(lowered.backend_report.format())
+
+    # mixed support: pretend pooling can't lower — the dependency-aware
+    # partitioner compiles the supported regions, pooling runs eager
+    # inline, and the report shows the partition/cache breakdown
+    pooling = ("MaxPool2d", "AvgPool2d", "AdaptiveAvgPool2d")
+
+    def no_pooling(node, modules):
+        if node.op == "call_module":
+            return type(modules[node.target]).__name__ not in pooling
+        return True
+
+    mixed = fx.to_backend(model, override_support("trt", no_pooling))
+    assert repro.allclose(model(x), mixed(x), rtol=1e-3, atol=1e-4)
+    print(mixed.backend_report.format())
 
     t_eager = measure(lambda: model(x), trials=5, warmup=1)
     t_fused = measure(lambda: fused(x), trials=5, warmup=1)
     t_lowered = measure(lambda: lowered(x), trials=5, warmup=1)
+    t_mixed = measure(lambda: mixed(x), trials=5, warmup=1)
 
     print_table(
         ["configuration", "mean (s)", "stdev (s)", "speedup"],
@@ -44,6 +65,8 @@ def main() -> None:
             ["conv-bn fused", t_fused.mean, t_fused.stdev, t_eager.mean / t_fused.mean],
             ["lowered engine", t_lowered.mean, t_lowered.stdev,
              t_eager.mean / t_lowered.mean],
+            ["mixed (pooling eager)", t_mixed.mean, t_mixed.stdev,
+             t_eager.mean / t_mixed.mean],
         ],
         title="ResNet-18 inference, batch 2 @ 64x64 (this machine)",
         floatfmt=".4f",

@@ -10,6 +10,8 @@ Public surface mirrors ``torch.fx``:
 * :func:`replace_pattern` — declarative subgraph rewriting;
 * :func:`compile` — one-call optimizing pipeline (pointwise fusion +
   memory planning, §6.2);
+* :mod:`repro.fx.backends` / :func:`to_backend` — the unified backend
+  registry and dependency-aware capability-partitioned lowering (§6.4);
 * :mod:`repro.fx.analysis` — the unified dataflow analysis framework
   (alias/escape, purity, dtype promotion, mutation hazards), lint rules
   (also ``python -m repro.fx.analysis``), and the pass verifier;
@@ -29,11 +31,15 @@ from .tracer import Tracer, TracerBase, symbolic_trace, wrap
 from . import analysis
 from .analysis import PassVerifier, VerificationError, lint_graph
 from . import passes
+from . import backends
+from .backends import Backend, BackendReport, register_backend, to_backend
 from .compiler import CompileReport, compile  # noqa: A004 - mirrors torch.compile
 from . import testing
 
 __all__ = [
     "Attribute",
+    "Backend",
+    "BackendReport",
     "CompileReport",
     "Graph",
     "GraphModule",
@@ -50,6 +56,7 @@ __all__ = [
     "Transformer",
     "UnstableHashError",
     "analysis",
+    "backends",
     "clear_codegen_cache",
     "codegen_cache_info",
     "compile",
@@ -57,8 +64,10 @@ __all__ = [
     "map_aggregate",
     "map_arg",
     "passes",
+    "register_backend",
     "replace_pattern",
     "symbolic_trace",
     "testing",
+    "to_backend",
     "wrap",
 ]

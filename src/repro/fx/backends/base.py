@@ -1,0 +1,221 @@
+"""The ``Backend`` protocol and the process-wide backend registry.
+
+A *backend* is anything that can compile an fx subgraph into a faster (or
+differently-executed) ``Module``: the numpy graph compiler of
+:func:`repro.fx.compile`, the TensorRT-like engine builder of
+:mod:`repro.trt`, an identity "eager" backend, or anything a user
+registers.  The paper's use cases (§5, §6.2, §6.4) all follow the same
+shape — capture, run preferred passes, carve out the supported region,
+compile it, fall back to eager for the rest — so that shape lives *once*
+in :func:`repro.fx.backends.to_backend` and individual backends only
+answer four questions:
+
+* ``name`` — the registry key;
+* ``is_node_supported(node, modules)`` — can I execute this node?
+* ``preferred_passes(gm)`` — which passes should run (under
+  :class:`~repro.fx.passes.PassManager`) before partitioning?
+* ``compile_subgraph(gm)`` — turn one fully-supported subgraph into a
+  callable ``Module``.
+
+Registration is by name (:func:`register_backend`); backends living in
+packages that themselves import :mod:`repro.fx` register *lazily*
+(:func:`register_lazy_backend`) so the registry never creates an import
+cycle.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Dict, Optional, Sequence, Union
+
+from ...nn import Module
+from ..graph_module import GraphModule
+from ..node import Node
+
+__all__ = [
+    "Backend",
+    "UnsupportedNodesError",
+    "get_backend",
+    "register_backend",
+    "register_lazy_backend",
+    "registered_backends",
+    "override_support",
+]
+
+
+class UnsupportedNodesError(RuntimeError):
+    """``to_backend(..., allow_fallback=False)`` found nodes the backend
+    cannot compile.  ``nodes`` holds their names (in graph order)."""
+
+    def __init__(self, backend_name: str, node_names: Sequence[str]):
+        self.backend_name = backend_name
+        self.nodes = list(node_names)
+        preview = ", ".join(self.nodes[:5])
+        if len(self.nodes) > 5:
+            preview += f", … ({len(self.nodes)} total)"
+        super().__init__(
+            f"backend {backend_name!r} does not support: {preview}; "
+            f"pass allow_fallback=True to run them eagerly"
+        )
+
+
+class Backend:
+    """Base class / protocol for pluggable compilation backends.
+
+    Subclasses override the four core hooks.  Two optional class
+    attributes tune how :func:`~repro.fx.backends.to_backend` treats the
+    backend:
+
+    * ``cacheable`` — compiled subgraphs may be memoized by structural
+      hash and *shared* between call sites (safe only when the compiled
+      module is stateless across sequential calls).  Default ``True``.
+    * ``respects_effects`` — the backend executes mutation exactly like
+      eager mode, so effectful/aliasing nodes need not be fenced out of
+      its partitions.  Default ``False`` (the partitioner conservatively
+      keeps mutating nodes, and anything sharing storage with a mutated
+      value, out of compiled partitions).
+    """
+
+    name: str = "base"
+    cacheable: bool = True
+    respects_effects: bool = False
+
+    def is_node_supported(self, node: Node, modules: Dict[str, Module]) -> bool:
+        """Can this backend execute *node*?  ``get_attr`` / ``placeholder``
+        / ``output`` nodes are never asked — the partitioner handles them
+        structurally (``get_attr`` inherits from its consumers)."""
+        raise NotImplementedError
+
+    def preferred_passes(self, gm: GraphModule) -> list:
+        """Passes to run (in order, under ``PassManager``) on the whole
+        captured graph before partitioning.  Entries are pass callables
+        or ``(name, callable)`` pairs; return ``[]`` for none."""
+        return []
+
+    def compile_subgraph(self, gm: GraphModule) -> Module:
+        """Compile one fully-supported subgraph into a callable Module."""
+        raise NotImplementedError
+
+    def validate_input(self, gm: GraphModule) -> None:
+        """Optional pre-flight check on the captured module (e.g. the TRT
+        backend requires eval mode).  Raise to abort ``to_backend``."""
+
+    @property
+    def cache_namespace(self) -> str:
+        """Key prefix for the per-partition compile memo.  Wrappers that
+        delegate ``compile_subgraph`` (e.g. :func:`override_support`)
+        share their base backend's namespace so identical subgraphs hit
+        the same cache entry."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+#: name -> Backend instance, Backend subclass, or zero-arg factory.
+_REGISTRY: Dict[str, Union[Backend, Callable[[], Backend]]] = {}
+#: name -> (module path, attribute) resolved on first use.
+_LAZY: Dict[str, tuple[str, str]] = {}
+
+
+def register_backend(name: str,
+                     backend: Union[Backend, Callable[[], Backend]],
+                     *, overwrite: bool = False) -> None:
+    """Register *backend* (an instance, class, or zero-arg factory) under
+    *name*.  Re-registering an existing name raises unless
+    ``overwrite=True`` — silent replacement of a backend someone else is
+    using is exactly the bug class a registry exists to prevent."""
+    if not name or not isinstance(name, str):
+        raise TypeError(f"backend name must be a non-empty string, got {name!r}")
+    if not overwrite and (name in _REGISTRY or name in _LAZY):
+        raise ValueError(f"backend {name!r} is already registered "
+                         f"(pass overwrite=True to replace it)")
+    if not (isinstance(backend, Backend) or callable(backend)):
+        raise TypeError(
+            f"backend must be a Backend instance or a factory, got "
+            f"{type(backend).__name__}")
+    _LAZY.pop(name, None)
+    _REGISTRY[name] = backend
+
+
+def register_lazy_backend(name: str, module: str, attr: str,
+                          *, overwrite: bool = False) -> None:
+    """Register a backend resolved by importing ``module`` and
+    instantiating ``attr`` on first :func:`get_backend` call.  Used for
+    backends whose home package imports ``repro.fx`` (e.g. ``repro.trt``)
+    so registration cannot form an import cycle."""
+    if not overwrite and (name in _REGISTRY or name in _LAZY):
+        raise ValueError(f"backend {name!r} is already registered")
+    _REGISTRY.pop(name, None)
+    _LAZY[name] = (module, attr)
+
+
+def registered_backends() -> list[str]:
+    """Sorted names of every registered backend (lazy ones included)."""
+    return sorted(set(_REGISTRY) | set(_LAZY))
+
+
+def get_backend(name: str) -> Backend:
+    """Resolve *name* to a ready-to-use :class:`Backend` instance.
+
+    Factory/class registrations are instantiated per call so backends
+    with per-run state (e.g. a configured pipeline) never leak state
+    between ``to_backend`` calls.
+    """
+    if name in _LAZY:
+        module, attr = _LAZY[name]
+        obj = getattr(importlib.import_module(module), attr)
+        _REGISTRY[name] = obj
+        del _LAZY[name]
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise KeyError(
+            f"no backend registered under {name!r}; known backends: "
+            f"{', '.join(registered_backends()) or '(none)'}")
+    backend = entry() if not isinstance(entry, Backend) else entry
+    if not isinstance(backend, Backend):
+        raise TypeError(
+            f"registry entry for {name!r} produced {type(backend).__name__}, "
+            f"not a Backend")
+    return backend
+
+
+class _FilteredBackend(Backend):
+    """A backend with an extra support predicate ANDed in (see
+    :func:`override_support`)."""
+
+    def __init__(self, base: Backend,
+                 predicate: Callable[[Node, Dict[str, Module]], bool],
+                 name: Optional[str] = None):
+        self.base = base
+        self.predicate = predicate
+        self.name = name or f"{base.name}+filter"
+        self.cacheable = base.cacheable
+        self.respects_effects = base.respects_effects
+
+    @property
+    def cache_namespace(self) -> str:
+        return self.base.cache_namespace
+
+    def is_node_supported(self, node: Node, modules: Dict[str, Module]) -> bool:
+        return bool(self.predicate(node, modules)) \
+            and self.base.is_node_supported(node, modules)
+
+    def preferred_passes(self, gm: GraphModule) -> list:
+        return self.base.preferred_passes(gm)
+
+    def compile_subgraph(self, gm: GraphModule) -> Module:
+        return self.base.compile_subgraph(gm)
+
+    def validate_input(self, gm: GraphModule) -> None:
+        self.base.validate_input(gm)
+
+
+def override_support(backend: Union[str, Backend],
+                     predicate: Callable[[Node, Dict[str, Module]], bool],
+                     *, name: Optional[str] = None) -> Backend:
+    """Wrap *backend* so a node is supported only when *predicate* also
+    accepts it — the standard way to force a fallback region for tests
+    and benchmarks (e.g. "pretend pooling is unsupported")."""
+    base = get_backend(backend) if isinstance(backend, str) else backend
+    return _FilteredBackend(base, predicate, name=name)

@@ -7,10 +7,14 @@ module, run the pass library over it, and hand back a drop-in
     shape-prop -> DCE -> CSE -> const-fold -> conv-bn-fuse
                -> pointwise-fuse -> memory-plan
 
-driven through the instrumented
-:class:`~repro.fx.passes.PassManager` (so per-pass wall time, node
-deltas, and structural-hash transform caching from the pass library all
-apply).  The returned module carries a :class:`CompileReport` on
+Since the backend-registry refactor, the pipeline itself lives in
+:class:`~repro.fx.backends.NumpyBackend` (registry entry ``"numpy"``) and
+``compile`` is a thin adapter over
+:func:`~repro.fx.backends.to_backend` — capture, preferred passes under
+the instrumented :class:`~repro.fx.passes.PassManager` (so per-pass wall
+time, node deltas, and structural-hash transform caching all apply), and
+the analysis-backed :class:`~repro.fx.analysis.PassVerifier` on by
+default.  The returned module carries a :class:`CompileReport` on
 ``.compile_report`` describing exactly what the compiler did.
 
 Example::
@@ -35,25 +39,16 @@ pickle-copy.
 
 from __future__ import annotations
 
-import pickle
 from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
 from ..nn import Module
 from ..tensor import Tensor
+from .backends import NumpyBackend, to_backend
 from .graph_module import GraphModule
-from .passes import (
-    PassManager,
-    PassRecord,
-    eliminate_common_subexpressions,
-    eliminate_dead_code,
-    fold_constants,
-    fuse_conv_bn,
-)
-from .passes.memory_planner import MemoryPlan, plan_memory
-from .passes.pointwise_fuser import FusedKernel, fuse_pointwise
-from .passes.shape_prop import ShapeProp
-from .tracer import symbolic_trace
+from .passes import PassRecord
+from .passes.memory_planner import MemoryPlan
+from .passes.pointwise_fuser import FusedKernel
 
 __all__ = ["CompileReport", "compile"]
 
@@ -155,67 +150,11 @@ def compile(  # noqa: A001 - mirrors torch.compile
         example_inputs = (example_inputs,)
     example_inputs = tuple(example_inputs)
 
-    if isinstance(module, GraphModule):
-        # Pickle round-trip: the contract is that compile() never touches
-        # the caller's module, but every stage transforms in place.
-        gm = pickle.loads(pickle.dumps(module))
-    else:
-        gm = symbolic_trace(module)
-
-    needs_inputs = any(n.op == "placeholder" and not n.args
-                       for n in gm.graph.nodes)
-    have_inputs = bool(example_inputs) or not needs_inputs
-    do_shape = have_inputs
-    do_fuse = fuse and have_inputs
-    do_plan = memory_planning and have_inputs
-
-    nodes_before = len(gm.graph)
-    plan_holder: list[MemoryPlan] = []
-
-    def shape_prop(g: GraphModule) -> None:
-        ShapeProp(g).propagate(*example_inputs)
-
-    def shape_refresh(g: GraphModule) -> None:
-        # Cached cleanup stages replay modules pickled on an *earlier*
-        # compile, whose metadata may describe different example shapes
-        # (meta is not part of the structural hash).  Re-stamp from the
-        # current inputs so fusion never specializes on stale shapes.
-        ShapeProp(g).propagate(*example_inputs)
-
-    def pointwise_fuse(g: GraphModule) -> int:
-        return fuse_pointwise(g)
-
-    def memory_plan(g: GraphModule) -> None:
-        plan_holder.append(plan_memory(g))
-
-    stages: list = []
-    if do_shape:
-        stages.append(("shape_prop", shape_prop))
-    stages += [
-        ("dce", eliminate_dead_code),
-        ("cse", eliminate_common_subexpressions),
-        ("const_fold", fold_constants),
-    ]
-    if not gm.training:
-        # fuse_conv_bn refuses training-mode modules (running stats would
-        # diverge); skip it rather than fail the pipeline.
-        stages.append(("fuse_conv_bn", fuse_conv_bn))
-    if do_fuse:
-        stages += [
-            ("shape_refresh", shape_refresh),
-            ("pointwise_fuse", pointwise_fuse),
-        ]
-    if do_plan:
-        stages.append(("memory_plan", memory_plan))
-
-    verifier = None
-    if verify:
-        from .analysis import PassVerifier
-
-        verifier = PassVerifier()
-    result = PassManager(stages, lint_after_each=lint, cache=cache,
-                         verifier=verifier).run(gm)
-    out = result.graph_module
+    backend = NumpyBackend(example_inputs, fuse=fuse,
+                           memory_planning=memory_planning)
+    out = to_backend(module, backend, allow_fallback=True,
+                     lint=lint, cache=cache, verify=verify)
+    breport = out.backend_report
 
     fused_regions = 0
     fused_ops = 0
@@ -226,13 +165,13 @@ def compile(  # noqa: A001 - mirrors torch.compile
 
     report = CompileReport(
         input_shapes=tuple(_shape_of(x) for x in example_inputs),
-        nodes_before=nodes_before,
-        nodes_after=len(out.graph),
+        nodes_before=breport.nodes_before,
+        nodes_after=breport.nodes_after,
         fused_regions=fused_regions,
         fused_ops=fused_ops,
-        memory=plan_holder[0] if plan_holder else None,
-        records=result.records,
-        total_time=result.total_time,
+        memory=backend.plans[0] if backend.plans else None,
+        records=breport.records,
+        total_time=breport.total_time,
     )
     out.compile_report = report
     return out

@@ -444,7 +444,8 @@ class Graph:
     # -- structural hashing ----------------------------------------------------------------
 
     def structural_hash(self, include_attrs: bool = True,
-                        require_stable: bool = False) -> str:
+                        require_stable: bool = False,
+                        canonicalize_targets: bool = False) -> str:
         """Canonical content hash of the graph (hex SHA-256 digest).
 
         Covers, in topological order: opcodes, call targets, the full
@@ -466,7 +467,25 @@ class Graph:
         instead; use this whenever the hash will outlive the objects it
         covers, e.g. as a key in a cache that does not pin those objects
         alive.
+
+        With ``canonicalize_targets=True``, ``placeholder`` / ``get_attr``
+        / ``call_module`` target *names* are replaced by fixed tokens, so
+        two graphs that compute the same function through differently
+        named state — repeated ResNet blocks as ``layer1.0`` vs
+        ``layer1.1`` with equal weights, partition submodules whose
+        placeholder names inherit different producer names — hash equal.
+        State identity then rests entirely on the fed parameter/buffer
+        bytes, so this mode requires ``include_attrs=True`` and an owning
+        module; it is meant for caching *self-contained* compiled
+        artifacts (e.g. engines with baked-in weights), not generated
+        code, which still reads attributes by name.
         """
+        if canonicalize_targets and (not include_attrs
+                                     or self.owning_module is None):
+            raise ValueError(
+                "canonicalize_targets requires include_attrs=True and an "
+                "owning module: without the state bytes in the hash, "
+                "differently-named attributes are not interchangeable")
         h = hashlib.sha256()
         index: dict[Node, int] = {}
 
@@ -535,15 +554,26 @@ class Graph:
         for i, node in enumerate(self.nodes):
             index[node] = i
             feed(node.op)
-            feed(token_for(node.target)
-                 if not isinstance(node.target, str) else f"s:{node.target}")
+            if canonicalize_targets and isinstance(node.target, str) \
+                    and node.op in ("placeholder", "get_attr", "call_module"):
+                # The name is addressing, not semantics: placeholders are
+                # positional, and attribute reads are identified by the
+                # state bytes fed below.  call_method/call_function
+                # targets still feed normally — there the target IS the op.
+                feed(f"canon:{node.op}")
+            else:
+                feed(token_for(node.target)
+                     if not isinstance(node.target, str) else f"s:{node.target}")
             feed_arg(node.args)
             feed_arg(node.kwargs)
             if root is not None and node.op in ("get_attr", "call_module"):
                 try:
                     value = _resolve_attr(root, node.target)
                 except RuntimeError:
-                    feed("unresolvable")
+                    # Keep the name in the token: with canonicalized
+                    # targets there are no state bytes to distinguish two
+                    # unresolvable reads, so the name must.
+                    feed(f"unresolvable:{node.target}")
                     continue
                 from ..nn import Module
 

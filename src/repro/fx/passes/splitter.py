@@ -1,11 +1,22 @@
 """Operator-support based splitting (the fx2trt pattern, §6.4).
 
 Given a predicate "is this node supported by the backend?", partition the
-graph into maximal contiguous runs of supported and unsupported nodes and
-split it with :func:`~repro.fx.passes.split_module.split_module`.  The
-paper highlights exactly this capability: "automatic splitting of the
-model based on TensorRT's supported operators and automatically scheduling
-unsupported operations in non-optimized blocks".
+graph into fully-supported and fallback submodules and split it with
+:func:`~repro.fx.passes.split_module.split_module`.  The paper highlights
+exactly this capability: "automatic splitting of the model based on
+TensorRT's supported operators and automatically scheduling unsupported
+operations in non-optimized blocks".
+
+Since the backend-registry refactor this is a compatibility shim over the
+dependency-aware :class:`~repro.fx.backends.CapabilityPartitioner`: the
+supported partitions are grown over the def-use DAG (so an unsupported
+side branch no longer severs a supported region in two, and ``get_attr``
+nodes attach to their *consumers'* partition rather than inheriting
+support from whatever preceded them), then the leftover nodes are grouped
+into maximal graph-order runs so every node still lands in some
+``submod_<pid>``.  New code should call
+:func:`repro.fx.to_backend` instead, which also compiles the supported
+partitions and can leave fallback nodes inline.
 """
 
 from __future__ import annotations
@@ -47,32 +58,28 @@ def split_by_support(
     gm: GraphModule,
     is_supported: Callable[[Node], bool],
 ) -> SplitResult:
-    """Split *gm* into alternating supported/unsupported partitions.
+    """Split *gm* into supported and fallback partitions.
 
-    Partition ids increase monotonically along the graph; a new partition
-    starts whenever support flips.  ``get_attr`` nodes inherit the support
-    of their consumers' region (they are free state reads).
+    Supported partitions are maximal subgraphs over the def-use DAG (a
+    merge is rejected only when it would create a dependency cycle
+    between partitions); unsupported nodes are grouped into maximal
+    graph-order runs.  Partition ids are dense, numbered by first
+    encounter in graph order — for a plain chain whose support alternates
+    this reproduces the historical alternating numbering.  ``get_attr``
+    nodes join a supported partition only when all their consumers live
+    in it (they are free state reads, not evidence of support).
     """
-    partition_of: dict[str, int] = {}
-    supported_partitions: set[int] = set()
-    current_pid = -1
-    current_supported: bool | None = None
-    for node in gm.graph.nodes:
-        if node.op in ("placeholder", "output"):
-            continue
-        sup = bool(is_supported(node)) if node.op != "get_attr" else current_supported
-        if sup is None:  # leading get_attr before any compute node
-            sup = True
-        if current_supported is None or sup != current_supported:
-            current_pid += 1
-            current_supported = sup
-            if sup:
-                supported_partitions.add(current_pid)
-        partition_of[node.name] = current_pid
+    from ..backends.partitioner import CapabilityPartitioner, full_cover_pids
 
-    split_gm = split_module(gm, lambda n: partition_of[n.name])
+    plan = CapabilityPartitioner(
+        lambda n, modules: is_supported(n),
+        mask_effects=False,  # historical semantics: topology-only legality
+    ).partition(gm)
+    pids, supported_pids = full_cover_pids(gm, plan)
+
+    split_gm = split_module(gm, lambda n: pids[n])
     return SplitResult(
         split_gm=split_gm,
-        supported_partitions=supported_partitions,
-        partition_of=partition_of,
+        supported_partitions=supported_pids,
+        partition_of={n.name: pid for n, pid in pids.items()},
     )

@@ -21,7 +21,13 @@ executes:
 6. the full **optimizing compiler** (``repro.fx.compile``: pointwise
    fusion + memory planning, with its pass verifier on), executed twice
    so that arena-buffer reuse across calls is exercised — fusion and
-   planning must be semantics-preserving on every generated program.
+   planning must be semantics-preserving on every generated program; and
+7. the **backend lowering path** (``repro.fx.to_backend`` with the eager
+   backend under a per-program seeded *random support predicate*): the
+   dependency-aware capability partitioner must never emit a partition
+   dependency cycle, the stitched split module must lint, and its output
+   must match the reference exactly — a property test over every fuzzed
+   graph (check name ``backend_split``).
 
 Additionally, every fresh trace is run through the static analyzer
 (:func:`repro.fx.analysis.lint_graph`): an error-severity diagnostic on a
@@ -317,6 +323,9 @@ def run_oracle(program: GeneratedProgram, localize: bool = True) -> OracleReport
     # -- the full optimizing compiler --------------------------------------
     _check_compile(report, gm, inputs, ref, scale, localize)
 
+    # -- backend lowering with a random support predicate ------------------
+    _check_backend_split(report, program, gm, inputs, ref, scale)
+
     # -- quantization round-trip -------------------------------------------
     _check_quantization(report, gm, inputs, ref, scale, localize)
     return report
@@ -360,6 +369,49 @@ def _check_compile(report: OracleReport, gm: GraphModule, inputs: tuple,
     report.outcomes.append(CheckOutcome(
         "compile", False, f"numeric divergence {err:.3g} > tol {tol:.3g}",
         max_err=err, divergence=div))
+
+
+def _check_backend_split(report: OracleReport, program: GeneratedProgram,
+                         gm: GraphModule, inputs: tuple,
+                         ref: Any, scale: float) -> None:
+    """Partition-and-stitch must be semantics-preserving for *any* support
+    predicate.
+
+    Lowers a copy through ``to_backend`` with the eager backend restricted
+    by a deterministic pseudo-random predicate (seeded from the program's
+    spec seed and each node's name, so every fuzz iteration partitions
+    differently but reproducibly).  A partition dependency cycle surfaces
+    as a RuntimeError from the splitter; numeric disagreement means a
+    value was threaded wrongly across a partition boundary.  Either fails
+    this check.
+    """
+    import zlib
+
+    from ..backends import EagerBackend, override_support, to_backend
+
+    seed = getattr(program.spec, "seed", 0)
+
+    def predicate(node: Node, modules: dict, _seed: int = seed) -> bool:
+        return zlib.crc32(f"{_seed}:{node.name}".encode()) % 100 < 60
+
+    backend = override_support(EagerBackend(), predicate, name="eager+fuzz")
+    try:
+        lowered = to_backend(_copy_gm(gm), backend, allow_fallback=True)
+        if isinstance(lowered, GraphModule):
+            lowered.graph.lint()
+        out = lowered(*inputs)
+    except Exception as exc:
+        report.outcomes.append(CheckOutcome(
+            "backend_split", False, _exc_summary(exc)))
+        return
+    err = max_abs_diff(ref, out)
+    tol = EXACT_ATOL * (1.0 + scale)
+    if err <= tol:
+        report.outcomes.append(CheckOutcome("backend_split", True, max_err=err))
+    else:
+        report.outcomes.append(CheckOutcome(
+            "backend_split", False,
+            f"numeric divergence {err:.3g} > tol {tol:.3g}", max_err=err))
 
 
 def _check_quantization(report: OracleReport, gm: GraphModule, inputs: tuple,

@@ -6,6 +6,7 @@ and epilogue fusion, and support-based graph splitting with eager
 fallback — the architecture of the fx2trt project the paper evaluates.
 """
 
+from .backend import TRTBackend
 from .engine import EngineOp, TRTEngine, TRTModule
 from .interpreter import TRTInterpreter, UnsupportedOperatorError, is_node_supported
 from .lower import lower_to_trt
@@ -13,6 +14,7 @@ from .splitter import lower_with_fallback
 
 __all__ = [
     "EngineOp",
+    "TRTBackend",
     "TRTEngine",
     "TRTInterpreter",
     "TRTModule",

@@ -1,0 +1,66 @@
+"""The ``"trt"`` entry in the ``repro.fx.backends`` registry.
+
+Wraps the TensorRT-like engine builder behind the :class:`Backend`
+protocol: Conv–BN fusion + DCE as preferred passes (the ahead-of-time
+optimizations TensorRT's builder would perform), the interpreter's
+operator-support table as the capability predicate, and
+``TRTInterpreter -> TRTEngine -> TRTModule`` as subgraph compilation.
+
+Support is decided *before* any engine build starts (the predicate is the
+partitioner's input), so — unlike the pre-refactor ``lower_to_trt`` —
+no engine is ever half-built and thrown away on an
+``UnsupportedOperatorError``.  Engines bake weights into closures, so the
+backend is ``cacheable``: structurally identical partitions (hash covers
+parameter bytes) share one built engine.
+
+Registered lazily from :mod:`repro.fx.backends` as ``"trt"`` so importing
+``repro.fx`` never drags this package in (and no import cycle forms).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..fx.backends import Backend
+from ..fx.graph_module import GraphModule
+from ..fx.node import Node
+from ..fx.passes import eliminate_dead_code, fuse_conv_bn
+from ..nn import Module
+from .engine import TRTModule
+from .interpreter import TRTInterpreter, is_node_supported
+
+__all__ = ["TRTBackend"]
+
+
+class TRTBackend(Backend):
+    """TensorRT-like lowering behind the Backend protocol.
+
+    Args:
+        fuse: run Conv–BatchNorm fusion before partitioning.
+    """
+
+    name = "trt"
+    cacheable = True          # engines are stateless once built
+    respects_effects = False  # engines copy; in-place semantics don't survive
+
+    def __init__(self, fuse: bool = True):
+        self.fuse = fuse
+
+    def validate_input(self, gm: GraphModule) -> None:
+        if gm.training:
+            raise RuntimeError(
+                "the trt backend requires eval mode; call model.eval() first")
+
+    def is_node_supported(self, node: Node, modules: Dict[str, Module]) -> bool:
+        return is_node_supported(modules, node)
+
+    def preferred_passes(self, gm: GraphModule) -> list:
+        stages: list = []
+        if self.fuse:
+            stages.append(("fuse_conv_bn", fuse_conv_bn))
+        stages.append(("dce", eliminate_dead_code))
+        return stages
+
+    def compile_subgraph(self, gm: GraphModule) -> Module:
+        engine = TRTInterpreter(gm).run()
+        return TRTModule(engine)

@@ -1,29 +1,31 @@
 """Top-level lowering API: ``lower_to_trt`` (§6.4, Figure 8).
 
-The full pipeline a user calls:
+Since the backend-registry refactor this is a thin wrapper over
+:func:`repro.fx.to_backend` with the ``"trt"`` backend
+(:class:`~repro.trt.backend.TRTBackend`).  The pipeline a call runs:
 
 1. symbolically trace the model (program capture);
-2. run the ahead-of-time graph optimizations — Conv–BN fusion, dead code
-   elimination (the optimizations TensorRT's builder would perform);
-3. translate with :class:`~repro.trt.interpreter.TRTInterpreter` into a
-   flat execution engine with fused epilogues and pre-resolved weights;
-4. wrap the engine in a :class:`~repro.trt.engine.TRTModule` so it is a
-   drop-in ``nn.Module`` replacement.
+2. run the backend's preferred passes — Conv–BN fusion, dead code
+   elimination — under the instrumented ``PassManager``;
+3. partition by the interpreter's operator-support table (a *pre-pass*:
+   unsupported operators are found before any engine build starts);
+4. translate each supported partition with
+   :class:`~repro.trt.interpreter.TRTInterpreter` into a flat execution
+   engine with fused epilogues and pre-resolved weights, wrapped in a
+   :class:`~repro.trt.engine.TRTModule`.
 
-Models containing unsupported operators can be lowered with
-``allow_fallback=True``, which routes unsupported regions back to eager
-execution via the operator-support splitter (see
-:mod:`repro.trt.splitter`).
+Fully-supported models come back as a single ``TRTModule``; with
+``allow_fallback=True``, unsupported regions stay eager submodules of a
+split GraphModule (see :mod:`repro.trt.splitter`).
 """
 
 from __future__ import annotations
 
-from ..fx import GraphModule, symbolic_trace
-from ..fx.passes.fuser import fuse_conv_bn
+from ..fx import GraphModule
+from ..fx.backends import UnsupportedNodesError, to_backend
 from ..nn import Module
-from .engine import TRTModule
-from .interpreter import TRTInterpreter, UnsupportedOperatorError
-from .splitter import lower_with_fallback
+from .backend import TRTBackend
+from .interpreter import UnsupportedOperatorError
 
 __all__ = ["lower_to_trt"]
 
@@ -46,17 +48,16 @@ def lower_to_trt(
         A callable Module: a :class:`TRTModule` when the whole graph
         lowered, or a split GraphModule mixing engine and eager blocks.
     """
-    gm = model if isinstance(model, GraphModule) else symbolic_trace(model)
-    if gm.training:
-        raise RuntimeError("lower_to_trt requires eval mode; call model.eval() first")
-    if fuse:
-        gm = fuse_conv_bn(gm)
-    gm.graph.eliminate_dead_code()
-    gm.recompile()
     try:
-        engine = TRTInterpreter(gm).run()
-        return TRTModule(engine)
-    except UnsupportedOperatorError:
-        if not allow_fallback:
-            raise
-        return lower_with_fallback(gm)
+        return to_backend(
+            model,
+            TRTBackend(fuse=fuse),
+            allow_fallback=allow_fallback,
+            # Keep the historical result shape: fallback regions become
+            # eager submodules, not inline top-level nodes.
+            inline_unsupported=False,
+        )
+    except UnsupportedNodesError as exc:
+        raise UnsupportedOperatorError(
+            f"unsupported operators for TRT lowering: "
+            f"{', '.join(exc.nodes)}") from exc

@@ -4,32 +4,36 @@
 operators and automatically scheduling unsupported operations in
 non-optimized blocks."
 
-Uses :func:`repro.fx.passes.splitter.split_by_support` to carve the graph
-into maximal supported runs, builds an engine for each supported
-submodule, and leaves unsupported submodules as eager GraphModules.
+Since the backend-registry refactor this is a thin wrapper over
+:func:`repro.fx.to_backend`: the dependency-aware
+:class:`~repro.fx.backends.CapabilityPartitioner` carves the graph (so an
+unsupported side branch no longer severs a supported region), each
+supported partition is compiled into an engine exactly once — memoized on
+``Graph.structural_hash()`` — and unsupported partitions stay eager
+GraphModule submodules.
 """
 
 from __future__ import annotations
 
 from ..fx import GraphModule
-from ..fx.passes.splitter import split_by_support
-from .engine import TRTModule
-from .interpreter import TRTInterpreter, is_node_supported
+from ..fx.backends import to_backend
+from ..nn import Module
+from .backend import TRTBackend
 
 __all__ = ["lower_with_fallback"]
 
 
-def lower_with_fallback(gm: GraphModule) -> GraphModule:
+def lower_with_fallback(gm: GraphModule) -> Module:
     """Lower supported regions of *gm* to engines, keep the rest eager.
 
     Returns the split top-level GraphModule whose supported
-    ``submod_<i>`` children have been replaced by :class:`TRTModule`s.
+    ``submod_<i>`` children have been replaced by :class:`TRTModule`s (or
+    a single :class:`TRTModule` when everything is supported).  *gm* is
+    assumed already optimized — no extra fusion pass runs here.
     """
-    modules = dict(gm.named_modules())
-    result = split_by_support(gm, lambda n: is_node_supported(modules, n))
-    split_gm = result.split_gm
-    for name in result.submodule_names(supported=True):
-        sub = split_gm.get_submodule(name)
-        engine = TRTInterpreter(sub).run()
-        setattr(split_gm, name, TRTModule(engine))
-    return split_gm
+    return to_backend(
+        gm,
+        TRTBackend(fuse=False),
+        allow_fallback=True,
+        inline_unsupported=False,
+    )
