@@ -1,0 +1,215 @@
+"""Benchmark — ``repro.fx.vm``: the flat bytecode tier vs Interpreter vs codegen.
+
+Each workload is executed by every tier of the stack, end to end:
+
+  * **eager** — the Module's Python forward;
+  * **interpreter** — ``Interpreter`` over the captured graph (the
+    no-compilation tier: per-node dispatch, env dict, map_arg);
+  * **codegen** — the ``fx.compile``/``to_backend`` GraphModule running
+    its generated forward;
+  * **vm** — the same optimized graph flattened by ``compile_to_vm`` and
+    replayed as an immutable instruction stream.
+
+Workloads: the 16-op pointwise chain from ``bench_compile.py`` (fuses to
+one kernel — the compile.txt headline case), a 64-op deep chain with
+multi-use intermediates (the shape the ``deep_chain`` fuzz kind emits),
+and ResNet-50 lowered through ``to_backend`` with pooling forced
+unsupported, so the VM replays compiled partitions interleaved with
+eager-fallback submodules.
+
+Tiers are timed round-robin (interleaved trials) so slow machine-load
+drift hits every tier equally; comparisons use the per-tier best.  The
+claims: the VM beats the Interpreter on every graph and stays at parity
+or better with the generated forward.
+"""
+
+import gc
+import time
+
+import numpy as np
+import pytest
+
+import repro
+import repro.functional as F
+import repro.fx as fx
+from repro import nn
+from repro.bench import TimingResult, format_table
+from repro.fx import Interpreter, symbolic_trace
+from repro.fx.backends import override_support, to_backend
+from repro.fx.vm import compile_to_vm
+from repro.models import resnet50
+
+from conftest import write_results
+
+POOLING = {"MaxPool2d", "AvgPool2d", "AdaptiveAvgPool2d"}
+
+
+def _pooling_unsupported(node, modules):
+    if node.op == "call_module":
+        return type(modules[node.target]).__name__ not in POOLING
+    return True
+
+
+class PointwiseChain(nn.Module):
+    """16 elementwise ops, single-consumer — fuses into one kernel."""
+
+    def forward(self, x):
+        t = x
+        for _ in range(4):
+            t = F.relu(t)
+            t = t * 1.01
+            t = t + 0.1
+            t = F.clamp(t, min=-4.0, max=4.0)
+        return t
+
+
+class DeepChain(nn.Module):
+    """64 elementwise ops with periodic multi-use intermediates — the
+    shape the fuzz generator's ``deep_chain`` kind emits."""
+
+    def forward(self, x):
+        t = x
+        saved = x
+        for i in range(16):
+            t = F.relu(t)
+            t = t * 1.01
+            t = t + saved
+            t = F.clamp(t, min=-4.0, max=4.0)
+            if i % 4 == 3:
+                saved = t
+        return t
+
+
+def _measure_interleaved(fns, trials, warmup):
+    """Time several callables round-robin: trial *i* runs every tier
+    back-to-back (starting from a rotating position, so no tier always
+    pays the cold-cache or allocator-churn slot), and machine-load drift
+    is shared instead of landing on whichever tier ran last."""
+    for fn in fns.values():
+        for _ in range(warmup):
+            fn()
+    order = list(fns)
+    times = {name: [] for name in fns}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for trial in range(trials):
+            for k in range(len(order)):
+                name = order[(trial + k) % len(order)]
+                t0 = time.perf_counter()
+                fns[name]()
+                times[name].append(time.perf_counter() - t0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {name: TimingResult(ts) for name, ts in times.items()}
+
+
+def _bench_case(name, model, optimized, inputs, trials, warmup):
+    captured = symbolic_trace(model)
+    program = compile_to_vm(optimized, cache=False)
+    interp = Interpreter(captured)
+
+    ref = model(*inputs)
+    for tier, fn in (("interpreter", lambda: interp.run(*inputs)),
+                     ("codegen", lambda: optimized(*inputs)),
+                     ("vm", lambda: program.run(*inputs))):
+        out = fn()
+        assert np.allclose(out.data, ref.data, atol=1e-3), \
+            f"{name}/{tier}: execution tier changed numerics"
+
+    timings = _measure_interleaved(
+        {
+            "eager": lambda: model(*inputs),
+            "interpreter": lambda: interp.run(*inputs),
+            "codegen": lambda: optimized(*inputs),
+            "vm": lambda: program.run(*inputs),
+        },
+        trials, warmup)
+    return program, timings
+
+
+@pytest.fixture(scope="module")
+def vm_results():
+    results = {}
+
+    repro.manual_seed(2022)
+    model = PointwiseChain().eval()
+    x = repro.randn(512, 1024)
+    results["pointwise chain (16 ops)"] = _bench_case(
+        "pointwise chain (16 ops)", model, fx.compile(model, (x,)), (x,),
+        30, 5)
+
+    repro.manual_seed(2022)
+    model = DeepChain().eval()
+    x = repro.randn(512, 1024)
+    results["deep chain (64 ops)"] = _bench_case(
+        "deep chain (64 ops)", model, fx.compile(model, (x,)), (x,), 15, 3)
+
+    repro.manual_seed(2022)
+    model = resnet50().eval()
+    x = repro.randn(1, 3, 64, 64)
+    backend = override_support("numpy", _pooling_unsupported,
+                               name="numpy-no-pooling")
+    results["ResNet-50 (pooling fallback)"] = _bench_case(
+        "ResNet-50 (pooling fallback)", model, to_backend(model, backend),
+        (x,), 10, 2)
+
+    return results
+
+
+def test_vm_vs_interpreter_vs_codegen(benchmark, vm_results):
+    rows = []
+
+    def run():
+        for name, (prog, t) in vm_results.items():
+            rows.append([
+                name, t["eager"].best, t["interpreter"].best,
+                t["codegen"].best, t["vm"].best,
+                t["eager"].best / t["vm"].best,
+                t["interpreter"].best / t["vm"].best,
+                t["codegen"].best / t["vm"].best,
+            ])
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["model", "eager (s)", "interpreter (s)", "codegen (s)", "vm (s)",
+         "vm vs eager", "vm vs interp", "vm vs codegen"],
+        rows,
+        title="repro.fx.vm — flat bytecode replay vs the other execution tiers"
+              " (best of interleaved trials)",
+        floatfmt=".4f",
+    )
+    programs = "\n".join(
+        f"[{name}] {prog!r}: {len(prog.consts)} constants, "
+        f"{len(prog.arena_specs)} arena slots"
+        for name, (prog, _t) in vm_results.items()
+    )
+    write_results("vm", table + "\n\n" + programs)
+
+    by_name = dict(zip(vm_results, rows))
+    chain = by_name["pointwise chain (16 ops)"]
+    # Acceptance: the VM holds the codegen tier's >=1.5x headline on the
+    # 16-op chain (compile.txt records 1.94x codegen-vs-eager there).
+    assert chain[5] >= 1.5, f"chain vm speedup {chain[5]:.2f}x < 1.5x"
+    for name, (_p, t) in vm_results.items():
+        # the VM must beat per-node dispatch on every benchmarked graph
+        assert t["vm"].best < t["interpreter"].best, \
+            f"{name}: vm {t['vm'].best:.4f}s not faster than " \
+            f"interpreter {t['interpreter'].best:.4f}s"
+        # and stay at parity with the generated forward (tolerance for
+        # timer noise on the conv-dominated case)
+        assert t["vm"].best <= t["codegen"].best * 1.10, \
+            f"{name}: vm {t['vm'].best:.4f}s lost to " \
+            f"codegen {t['codegen'].best:.4f}s"
+
+
+def test_vm_arena_reuses_buffers_across_calls(vm_results):
+    prog, _ = vm_results["pointwise chain (16 ops)"]
+    if prog.arena is None:
+        pytest.skip("no planned intermediates on this graph")
+    prog.run(repro.randn(512, 1024))
+    before = prog.arena.materializations
+    prog.run(repro.randn(512, 1024))
+    assert prog.arena.materializations == before

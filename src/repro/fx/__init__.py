@@ -17,6 +17,8 @@ Public surface mirrors ``torch.fx``:
   (also ``python -m repro.fx.analysis``), and the pass verifier;
 * :mod:`repro.fx.passes` — shape propagation, fusion, splitting,
   visualization, cost modelling, scheduling;
+* :mod:`repro.fx.vm` / :func:`compile_to_vm` — the flat bytecode VM
+  execution tier (``compile(..., executor="vm")``);
 * :mod:`repro.fx.testing` — differential testing and graph fuzzing of
   everything above.
 """
@@ -33,6 +35,8 @@ from .analysis import PassVerifier, VerificationError, lint_graph
 from . import passes
 from . import backends
 from .backends import Backend, BackendReport, register_backend, to_backend
+from . import vm
+from .vm import VMModule, VMProgram, compile_to_vm
 from .compiler import CompileReport, compile  # noqa: A004 - mirrors torch.compile
 from . import testing
 
@@ -55,11 +59,14 @@ __all__ = [
     "TracerBase",
     "Transformer",
     "UnstableHashError",
+    "VMModule",
+    "VMProgram",
     "analysis",
     "backends",
     "clear_codegen_cache",
     "codegen_cache_info",
     "compile",
+    "compile_to_vm",
     "lint_graph",
     "map_aggregate",
     "map_arg",
@@ -69,5 +76,6 @@ __all__ = [
     "symbolic_trace",
     "testing",
     "to_backend",
+    "vm",
     "wrap",
 ]

@@ -74,11 +74,18 @@ class Backend:
       its partitions.  Default ``False`` (the partitioner conservatively
       keeps mutating nodes, and anything sharing storage with a mutated
       value, out of compiled partitions).
+    * ``executor`` — how the *stitched result graph* (and with it every
+      eager-fallback partition) executes: ``"codegen"`` runs the
+      generated forward, ``"vm"`` flattens it onto the
+      :class:`~repro.fx.vm.VMProgram` bytecode tier.  Default
+      ``"codegen"``; overridable per call via
+      ``to_backend(..., executor=...)``.
     """
 
     name: str = "base"
     cacheable: bool = True
     respects_effects: bool = False
+    executor: str = "codegen"
 
     def is_node_supported(self, node: Node, modules: Dict[str, Module]) -> bool:
         """Can this backend execute *node*?  ``get_attr`` / ``placeholder``
@@ -192,6 +199,7 @@ class _FilteredBackend(Backend):
         self.name = name or f"{base.name}+filter"
         self.cacheable = base.cacheable
         self.respects_effects = base.respects_effects
+        self.executor = base.executor
 
     @property
     def cache_namespace(self) -> str:

@@ -120,7 +120,8 @@ def compile(  # noqa: A001 - mirrors torch.compile
     lint: bool = False,
     cache: bool = True,
     verify: bool = True,
-) -> GraphModule:
+    executor: str = "codegen",
+) -> Module:
     """Capture (if needed) and optimize *module* against *example_inputs*.
 
     Args:
@@ -141,11 +142,20 @@ def compile(  # noqa: A001 - mirrors torch.compile
             a pass that introduces a mutation/arena hazard or deletes an
             effectful node aborts compilation with a
             :class:`~repro.fx.analysis.VerificationError` naming it.
+        executor: ``"codegen"`` (default) returns the optimized
+            ``GraphModule`` running its generated forward; ``"vm"``
+            additionally flattens it onto the bytecode tier and returns a
+            :class:`~repro.fx.vm.VMModule` replaying the fused,
+            arena-planned graph as an immutable instruction stream.
 
     Returns:
-        The optimized, recompiled ``GraphModule``; its ``compile_report``
+        The optimized, recompiled ``GraphModule`` (or the ``VMModule``
+        wrapping it under ``executor="vm"``); its ``compile_report``
         attribute holds the :class:`CompileReport`.
     """
+    if executor not in ("codegen", "vm"):
+        raise ValueError(f"unknown executor {executor!r}; "
+                         f"expected 'codegen' or 'vm'")
     if isinstance(example_inputs, Tensor):
         example_inputs = (example_inputs,)
     example_inputs = tuple(example_inputs)
@@ -173,5 +183,12 @@ def compile(  # noqa: A001 - mirrors torch.compile
         records=breport.records,
         total_time=breport.total_time,
     )
+    if executor == "vm":
+        from .vm import VMModule, compile_to_vm
+
+        vm_out: Module = VMModule(compile_to_vm(out))
+        vm_out.backend_report = breport
+        vm_out.compile_report = report
+        return vm_out
     out.compile_report = report
     return out

@@ -14,7 +14,7 @@ from typing import Any, Iterator, Optional
 from ..nn import Module
 from .graph import Graph
 from .graph_module import GraphModule
-from .node import Node, map_arg, map_aggregate
+from .node import Node, OPCODES, map_arg, map_aggregate
 from .proxy import Proxy
 from .tracer import Tracer
 
@@ -32,13 +32,30 @@ class Interpreter:
     """
 
     def __init__(self, module: GraphModule, garbage_collect_values: bool = True):
-        if not isinstance(module, GraphModule):
-            raise TypeError("Interpreter expects a GraphModule")
-        self.module = module
         self.env: dict[Node, Any] = {}
         self.garbage_collect_values = garbage_collect_values
+        self.module = module  # property: validates and builds the tables
+
+    @property
+    def module(self) -> GraphModule:
+        return self._module
+
+    @module.setter
+    def module(self, module: GraphModule) -> None:
+        """Swapping the module rebuilds the precomputed dispatch/liveness
+        tables against the new graph."""
+        if not isinstance(module, GraphModule):
+            raise TypeError("Interpreter expects a GraphModule")
+        self._module = module
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        """(Re)compute the per-node tables for the current module/graph:
+        last-use liveness for garbage collection and the per-node opcode
+        handler map."""
+        module = self._module
         self.user_to_last_uses: dict[Node, list[Node]] = {}
-        if garbage_collect_values:
+        if self.garbage_collect_values:
             node_to_last_use: dict[Node, Node] = {}
             for node in module.graph.nodes:
                 def register(n: Node) -> Node:
@@ -50,11 +67,33 @@ class Interpreter:
                 self.user_to_last_uses.setdefault(user, []).append(used)
         # Precomputed per-node dispatch: one getattr per node per *run* is
         # pure overhead, so resolve each node's opcode handler (including
-        # subclass overrides) once at construction.  Nodes added to the
-        # graph afterwards fall back to dynamic dispatch in run_node.
+        # subclass overrides) once up front.  Nodes added to the graph
+        # afterwards fall back to dynamic dispatch in run_node; handler
+        # overrides installed after construction and module/graph swaps
+        # are caught by the staleness check at the top of run().
         self._node_handlers: dict[Node, Any] = {
             node: self._resolve_handler(node) for node in module.graph.nodes
         }
+        self._tables_graph = module.graph
+        self._handler_sources = self._handler_snapshot()
+
+    def _handler_snapshot(self) -> tuple:
+        """Identity of each opcode handler as currently visible on this
+        instance — instance-dict overrides first, then the class (so a
+        class-level monkeypatch changes the snapshot too)."""
+        d = self.__dict__
+        cls = type(self)
+        return tuple(d.get(op, getattr(cls, op)) for op in OPCODES)
+
+    def _refresh_tables_if_stale(self) -> None:
+        """Rebuild the precomputed tables when they no longer describe
+        reality: the module's graph was swapped (``self.module = other``
+        assigns through the property, but ``gm.graph = ...`` or in-place
+        graph surgery does not), or an opcode handler was overridden
+        after construction (instance attribute or class patch)."""
+        if (self._tables_graph is not self._module.graph
+                or self._handler_sources != self._handler_snapshot()):
+            self._build_tables()
 
     def _resolve_handler(self, node: Node) -> Any:
         handler = getattr(self, node.op)
@@ -64,6 +103,7 @@ class Interpreter:
             and node.op == "call_function"
             and self.garbage_collect_values
             and type(self).call_function is Interpreter.call_function
+            and "call_function" not in self.__dict__
         ):
             # Memory-planned node (see passes.memory_planner): route the
             # arena slot in as out= so interpretation reuses buffers like
@@ -78,6 +118,7 @@ class Interpreter:
     def run(self, *args, initial_env: Optional[dict[Node, Any]] = None) -> Any:
         """Run the graph with *args* bound to the placeholders, returning
         the output node's value."""
+        self._refresh_tables_if_stale()
         self.env = dict(initial_env) if initial_env else {}
         self.args_iter: Iterator[Any] = iter(args)
         for node in self.module.graph.nodes:
@@ -212,6 +253,7 @@ class Transformer(Interpreter):
                 "transform again."
             )
         self._transformed = True
+        self._refresh_tables_if_stale()
         self.env = {}
         self.args_iter = iter(())  # placeholders create proxies, consume nothing
         for node in self.module.graph.nodes:

@@ -79,6 +79,7 @@ def fuzz(
     minimize_failures: bool = True,
     out_dir: Optional[str] = None,
     verbose: bool = False,
+    only: Optional[frozenset] = None,
 ) -> FuzzResult:
     """Run *iters* generate-and-check iterations; returns a :class:`FuzzResult`.
 
@@ -89,12 +90,14 @@ def fuzz(
         out_dir: where to write replay scripts (created on first failure;
             nothing is written when the run is clean or ``out_dir`` is None).
         verbose: print each failure's oracle summary as it happens.
+        only: restrict the oracle to the named checks (see
+            :func:`~repro.fx.testing.run_oracle`); ``None`` runs them all.
     """
     result = FuzzResult(seed=seed, iterations=iters)
     start = time.perf_counter()
     for i in range(iters):
         spec = spec_for_iteration(seed, i)
-        failure = _run_iteration(i, spec, verbose)
+        failure = _run_iteration(i, spec, verbose, only)
         if failure is None:
             continue
         if minimize_failures:
@@ -109,14 +112,15 @@ def fuzz(
     return result
 
 
-def _run_iteration(i: int, spec: ProgramSpec, verbose: bool) -> Optional[FuzzFailure]:
+def _run_iteration(i: int, spec: ProgramSpec, verbose: bool,
+                   only: Optional[frozenset] = None) -> Optional[FuzzFailure]:
     try:
         program = generate_program(spec)
     except Exception as exc:
         return FuzzFailure(i, spec, [f"generate: {type(exc).__name__}"],
                            f"generator raised: {exc!r}")
     try:
-        report = run_oracle(program)
+        report = run_oracle(program, only=only)
     except Exception as exc:
         return FuzzFailure(i, spec, [f"oracle: {type(exc).__name__}"],
                            f"oracle harness raised: {exc!r}")
@@ -155,7 +159,14 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="skip delta-debugging of failures")
     parser.add_argument("--verbose", action="store_true",
                         help="print each failure's full oracle report")
+    parser.add_argument("--checks", default=None,
+                        help="comma-separated check names to run "
+                             "(e.g. 'vm,vm_compiled'); default: all")
     args = parser.parse_args(argv)
+
+    only = None
+    if args.checks:
+        only = frozenset(c.strip() for c in args.checks.split(",") if c.strip())
 
     result = fuzz(
         seed=args.seed,
@@ -163,6 +174,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         minimize_failures=not args.no_minimize,
         out_dir=args.out,
         verbose=args.verbose,
+        only=only,
     )
     print(result.summary())
     return 0 if result.ok else 1

@@ -9,7 +9,8 @@ Programs come in two families:
   (``cat``), multi-output nodes (``chunk`` + ``getitem``), shared
   subexpressions (operand reuse), multi-use placeholders, multi-step
   pointwise chains over shared operands (fusion/memory-planner stress),
-  and tuple/dict output aggregates.
+  50+-op sequential deep chains with multi-use intermediates (flat-VM
+  and register-reuse stress), and tuple/dict output aggregates.
 * ``"module"`` — a random ``nn.Module`` tree (MLP or Conv/BatchNorm stack)
   that is symbolically traced; the untraced module provides an independent
   *eager* reference for the differential oracle, and the conv family gives
@@ -142,8 +143,8 @@ def _generate_graph_program(spec: ProgramSpec) -> GeneratedProgram:
         input_shapes.append((BATCH, feat))
 
     kinds = ("unary_fn", "binary_fn", "kwargs_fn", "method", "module",
-             "get_attr", "cat", "chunk", "pointwise_chain")
-    weights = (5, 4, 2, 3, 4, 2, 2, 2, 3)
+             "get_attr", "cat", "chunk", "pointwise_chain", "deep_chain")
+    weights = (5, 4, 2, 3, 4, 2, 2, 2, 3, 1)
 
     emitted = 0
     for i in range(spec.n_ops):
@@ -287,6 +288,28 @@ def _emit_op(kind: str, i: int, rng: random.Random, g: Graph, root: Module,
         values.append((w, shape))
         values.append((r, (shape[0], shape[-1] * 2)))
         return 7
+
+    if kind == "deep_chain":
+        # 50+ *sequential* same-shape pointwise ops with periodically
+        # saved intermediates folded back in downstream — the depth the
+        # VM's flat replay loop is built for, and a register-reuse
+        # stress for the memory planner: many short-lived values of one
+        # (shape, dtype) class plus multi-use intermediates whose slots
+        # must survive until their distant last reader.
+        length = 50 + rng.randrange(14)
+        cur = v
+        saved = [cur]
+        for j in range(length):
+            if j % 7 == 3 and len(saved) > 1 and rng.random() < 0.8:
+                mate = saved[rng.randrange(len(saved))]
+                fn2 = rng.choice((operator.add, operator.mul, F.maximum))
+                cur = g.call_function(fn2, (cur, mate))
+            else:
+                cur = g.call_function(rng.choice(_UNARY_FNS), (cur,))
+            if j % 5 == 1:
+                saved.append(cur)
+        values.append((cur, shape))
+        return length
 
     if kind == "chunk":
         evens = [(n, s) for n, s in values if s[-1] % 2 == 0]

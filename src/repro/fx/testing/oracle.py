@@ -21,8 +21,15 @@ executes:
 6. the full **optimizing compiler** (``repro.fx.compile``: pointwise
    fusion + memory planning, with its pass verifier on), executed twice
    so that arena-buffer reuse across calls is exercised — fusion and
-   planning must be semantics-preserving on every generated program; and
-7. the **backend lowering path** (``repro.fx.to_backend`` with the eager
+   planning must be semantics-preserving on every generated program;
+7. the **flat bytecode VM** (``repro.fx.vm``), twice over: the pristine
+   graph is VM-compiled and must match the reference exactly — including
+   after a pickle round-trip of the program, which must replay
+   bit-identically (check ``vm``) — and the ``fx.compile`` output is
+   VM-compiled so fused-kernel instructions and arena-backed registers
+   execute on the VM, run twice for arena-reuse determinism (check
+   ``vm_compiled``); and
+8. the **backend lowering path** (``repro.fx.to_backend`` with the eager
    backend under a per-program seeded *random support predicate*): the
    dependency-aware capability partitioner must never emit a partition
    dependency cycle, the stitched split module must lint, and its output
@@ -239,10 +246,23 @@ def _localize(gm: GraphModule, transformed: GraphModule,
         return None
 
 
-def run_oracle(program: GeneratedProgram, localize: bool = True) -> OracleReport:
-    """Run every registered check on *program* and collect the verdicts."""
+def run_oracle(program: GeneratedProgram, localize: bool = True,
+               only: Optional[frozenset] = None) -> OracleReport:
+    """Run every registered check on *program* and collect the verdicts.
+
+    Args:
+        program: the generated program to judge.
+        localize: attempt first-divergence localization on numeric
+            failures.
+        only: when given, run just the checks whose name is in the set
+            (the reference execution always runs) — used by the dedicated
+            VM fuzz smoke to iterate fast.
+    """
     report = OracleReport(program)
     gm, inputs = program.gm, program.inputs
+
+    def want(name: str) -> bool:
+        return only is None or name in only
 
     # -- reference value ----------------------------------------------------
     try:
@@ -276,41 +296,49 @@ def run_oracle(program: GeneratedProgram, localize: bool = True) -> OracleReport
             max_err=err, divergence=div))
 
     # -- pristine-module checks --------------------------------------------
-    try:
-        gm.graph.lint()
-        report.outcomes.append(CheckOutcome("lint", True))
-    except Exception as exc:
-        report.outcomes.append(CheckOutcome("lint", False, _exc_summary(exc)))
+    if want("lint"):
+        try:
+            gm.graph.lint()
+            report.outcomes.append(CheckOutcome("lint", True))
+        except Exception as exc:
+            report.outcomes.append(CheckOutcome("lint", False, _exc_summary(exc)))
 
     # -- static analysis: a freshly generated program must lint clean ------
     # Each error-severity rule fails as its own named check
     # ("analysis:<rule>"), so the minimizer's failing-check-name
     # intersection preserves the triggering diagnostic while shrinking.
-    try:
-        diag_report = lint_graph(gm)
-        if diag_report.errors:
-            for rule in sorted({d.rule for d in diag_report.errors}):
-                first = next(d for d in diag_report.errors if d.rule == rule)
-                report.outcomes.append(CheckOutcome(
-                    f"analysis:{rule}", False,
-                    first.format().splitlines()[0]))
-        else:
-            report.outcomes.append(CheckOutcome("analysis", True))
-    except Exception as exc:
-        report.outcomes.append(CheckOutcome("analysis", False, _exc_summary(exc)))
+    if want("analysis"):
+        try:
+            diag_report = lint_graph(gm)
+            if diag_report.errors:
+                for rule in sorted({d.rule for d in diag_report.errors}):
+                    first = next(d for d in diag_report.errors if d.rule == rule)
+                    report.outcomes.append(CheckOutcome(
+                        f"analysis:{rule}", False,
+                        first.format().splitlines()[0]))
+            else:
+                report.outcomes.append(CheckOutcome("analysis", True))
+        except Exception as exc:
+            report.outcomes.append(CheckOutcome("analysis", False, _exc_summary(exc)))
 
-    check_numeric("codegen", lambda: gm(*inputs), EXACT_ATOL)
-    check_numeric("interpreter", lambda: Interpreter(gm).run(*inputs), EXACT_ATOL)
+    if want("codegen"):
+        check_numeric("codegen", lambda: gm(*inputs), EXACT_ATOL)
+    if want("interpreter"):
+        check_numeric("interpreter", lambda: Interpreter(gm).run(*inputs),
+                      EXACT_ATOL)
 
     def retrace() -> Any:
         gm2 = symbolic_trace(gm)
         gm2.graph.lint()
         return gm2(*inputs)
 
-    check_numeric("retrace", retrace, EXACT_ATOL)
+    if want("retrace"):
+        check_numeric("retrace", retrace, EXACT_ATOL)
 
     # -- pass pipelines, each on a fresh copy ------------------------------
     for name, pipeline in PASS_PIPELINES.items():
+        if not want(name):
+            continue
         try:
             transformed = pipeline(_copy_gm(gm))
             transformed.graph.lint()
@@ -321,14 +349,90 @@ def run_oracle(program: GeneratedProgram, localize: bool = True) -> OracleReport
                       _PIPELINE_ATOL.get(name, EXACT_ATOL), transformed=transformed)
 
     # -- the full optimizing compiler --------------------------------------
-    _check_compile(report, gm, inputs, ref, scale, localize)
+    if want("compile"):
+        _check_compile(report, gm, inputs, ref, scale, localize)
+
+    # -- the flat bytecode VM, pristine and post-compile -------------------
+    if want("vm"):
+        _check_vm(report, gm, inputs, ref, scale)
+    if want("vm_compiled"):
+        _check_vm_compiled(report, gm, inputs, ref, scale)
 
     # -- backend lowering with a random support predicate ------------------
-    _check_backend_split(report, program, gm, inputs, ref, scale)
+    if want("backend_split"):
+        _check_backend_split(report, program, gm, inputs, ref, scale)
 
     # -- quantization round-trip -------------------------------------------
-    _check_quantization(report, gm, inputs, ref, scale, localize)
+    if want("quant_prepare") or want("quant_convert"):
+        _check_quantization(report, gm, inputs, ref, scale, localize)
     return report
+
+
+def _check_vm(report: OracleReport, gm: GraphModule, inputs: tuple,
+              ref: Any, scale: float) -> None:
+    """The pristine graph on the bytecode VM must match the reference
+    exactly, and a pickle round-trip of the program must replay
+    bit-identically (the serialization contract the per-partition memo
+    and future serving paths rely on)."""
+    from ..vm import compile_to_vm
+
+    try:
+        program = compile_to_vm(_copy_gm(gm), cache=False)
+        out = program.run(*inputs)
+        replayed = pickle.loads(pickle.dumps(program)).run(*inputs)
+    except Exception as exc:
+        report.outcomes.append(CheckOutcome("vm", False, _exc_summary(exc)))
+        return
+    rerr = max_abs_diff(out, replayed)
+    if rerr > 0.0:
+        report.outcomes.append(CheckOutcome(
+            "vm", False,
+            f"pickled program replay diverged bit-exactly: {rerr:.3g}",
+            max_err=rerr))
+        return
+    err = max_abs_diff(ref, out)
+    tol = EXACT_ATOL * (1.0 + scale)
+    if err <= tol:
+        report.outcomes.append(CheckOutcome("vm", True, max_err=err))
+    else:
+        report.outcomes.append(CheckOutcome(
+            "vm", False, f"numeric divergence {err:.3g} > tol {tol:.3g}",
+            max_err=err))
+
+
+def _check_vm_compiled(report: OracleReport, gm: GraphModule, inputs: tuple,
+                       ref: Any, scale: float) -> None:
+    """``fx.compile`` output on the VM: fused-kernel instructions and
+    arena-backed registers, run twice so cross-call arena reuse is
+    exercised, must stay deterministic and agree with the reference."""
+    from ..compiler import compile as fx_compile
+    from ..vm import compile_to_vm
+
+    try:
+        compiled = fx_compile(_copy_gm(gm), inputs, lint=True)
+        program = compile_to_vm(compiled, cache=False)
+        out1 = program.run(*inputs)
+        out2 = program.run(*inputs)
+    except Exception as exc:
+        report.outcomes.append(CheckOutcome("vm_compiled", False,
+                                            _exc_summary(exc)))
+        return
+    rerr = max_abs_diff(out1, out2)
+    if rerr > 0.0:
+        report.outcomes.append(CheckOutcome(
+            "vm_compiled", False,
+            f"VM run is not deterministic across calls (arena reuse bug): "
+            f"{rerr:.3g}", max_err=rerr))
+        return
+    atol = EXACT_ATOL if gm.training else FOLD_ATOL
+    err = max_abs_diff(ref, out1)
+    tol = atol * (1.0 + scale)
+    if err <= tol:
+        report.outcomes.append(CheckOutcome("vm_compiled", True, max_err=err))
+    else:
+        report.outcomes.append(CheckOutcome(
+            "vm_compiled", False,
+            f"numeric divergence {err:.3g} > tol {tol:.3g}", max_err=err))
 
 
 def _check_compile(report: OracleReport, gm: GraphModule, inputs: tuple,

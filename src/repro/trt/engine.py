@@ -2,18 +2,21 @@
 
 A built :class:`TRTEngine` is the analogue of a serialized TensorRT
 engine: all weights are resolved, kernels specialized, and buffer slots
-planned ahead of time.  Execution is a tight loop with no framework
-machinery — each step calls one closure on raw arrays and frees slots
-whose last use has passed.
+planned ahead of time.  The replay loop itself is the shared flat-bytecode
+tier of :mod:`repro.fx.vm` — the engine lowers its kernel plan into a
+:class:`~repro.fx.vm.VMProgram` (one ``call`` instruction per planned
+kernel, constants as constant registers, liveness as ``frees``) and
+``run`` is that program's tight loop with no framework machinery.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 import numpy as np
 
+from ..fx.vm import Instruction, Reg, VMProgram
 from ..nn import Module
 from ..tensor import Tensor
 
@@ -29,6 +32,13 @@ class EngineOp:
     input_slots: tuple[int, ...]
     output_slot: int
     frees: tuple[int, ...] = ()
+
+
+def _spec_template(spec: Any) -> Any:
+    """Slot-id spec (int, or nested tuple/list of ints) -> Reg template."""
+    if isinstance(spec, (tuple, list)):
+        return tuple(_spec_template(s) for s in spec)
+    return Reg(spec)
 
 
 class TRTEngine:
@@ -47,9 +57,21 @@ class TRTEngine:
         self.input_slots = input_slots
         self.output_spec = output_spec
         self.constants = constants
-        self._template: list[Any] = [None] * num_slots
-        for slot, value in constants.items():
-            self._template[slot] = value
+        self._program = VMProgram(
+            instructions=[
+                Instruction(kind="call", target=op.fn,
+                            args=tuple(Reg(s) for s in op.input_slots),
+                            out=op.output_slot, frees=tuple(op.frees),
+                            name=op.name)
+                for op in ops
+            ],
+            n_regs=num_slots,
+            inputs=[(slot, f"input{i}", False, None)
+                    for i, slot in enumerate(input_slots)],
+            output=_spec_template(output_spec),
+            consts=constants,
+            name="trt-engine",
+        )
 
     def run(self, *inputs: np.ndarray):
         """Execute the plan on raw ndarrays."""
@@ -57,20 +79,7 @@ class TRTEngine:
             raise ValueError(
                 f"engine expects {len(self.input_slots)} inputs, got {len(inputs)}"
             )
-        env = self._template.copy()
-        for value, slot in zip(inputs, self.input_slots):
-            env[slot] = value
-        for op in self.ops:
-            env[op.output_slot] = op.fn(*[env[s] for s in op.input_slots])
-            for s in op.frees:
-                env[s] = None
-
-        def read(spec):
-            if isinstance(spec, (tuple, list)):
-                return tuple(read(s) for s in spec)
-            return env[spec]
-
-        return read(self.output_spec)
+        return self._program.run(*inputs)
 
     def op_names(self) -> list[str]:
         return [op.name for op in self.ops]

@@ -136,6 +136,87 @@ class TestInterpreter:
         assert w.shape == (2, 2)
 
 
+class TestHandlerTableFreshness:
+    """The handler table precomputed in __init__ (a per-run dispatch
+    optimization) must never change observable semantics: overrides
+    installed *after* construction and module swaps must behave exactly
+    as if the Interpreter had been built then."""
+
+    def test_instance_override_after_construction(self):
+        gm = symbolic_trace(lambda x: repro.relu(x))
+        interp = Interpreter(gm)
+        interp.run(repro.tensor([-1.0]))  # table built and used once
+        sentinel = repro.tensor([99.0])
+        interp.call_function = lambda target, args, kwargs: sentinel
+        out = interp.run(repro.tensor([-1.0]))
+        assert out.tolist() == [99.0]
+
+    def test_class_patch_after_construction(self):
+        class Sub(Interpreter):
+            pass
+
+        gm = symbolic_trace(lambda x: repro.relu(x))
+        interp = Sub(gm)
+        assert interp.run(repro.tensor([-2.0])).tolist() == [0.0]
+        try:
+            Sub.call_function = (
+                lambda self, target, args, kwargs: target(*args, **kwargs) + 1.0)
+            out = interp.run(repro.tensor([-2.0]))
+        finally:
+            del Sub.call_function
+        assert out.tolist() == [1.0]
+
+    def test_removed_override_restores_stock_dispatch(self):
+        gm = symbolic_trace(lambda x: repro.relu(x))
+        interp = Interpreter(gm)
+        interp.call_function = lambda target, args, kwargs: repro.tensor([7.0])
+        assert interp.run(repro.tensor([-1.0])).tolist() == [7.0]
+        del interp.call_function
+        assert interp.run(repro.tensor([-1.0])).tolist() == [0.0]
+
+    def test_module_swap_executes_new_graph(self):
+        gm_relu = symbolic_trace(lambda x: repro.relu(x))
+        gm_neg = symbolic_trace(lambda x: x.neg().tanh())
+        interp = Interpreter(gm_relu)
+        interp.run(repro.tensor([-3.0]))
+        interp.module = gm_neg
+        out = interp.run(repro.tensor([-3.0]))
+        assert np.allclose(out.data, np.tanh(3.0), atol=1e-6)
+        # dispatch and GC tables were rebuilt against the new graph
+        assert all(n.graph is gm_neg.graph for n in interp._node_handlers)
+        live_ops = {n.op for n in interp.env}
+        assert "call_method" not in live_ops or len(interp.env) < len(gm_neg.graph)
+
+    def test_module_swap_rejects_non_graphmodule(self):
+        interp = Interpreter(symbolic_trace(lambda x: repro.relu(x)))
+        with pytest.raises(TypeError):
+            interp.module = nn.Linear(2, 2)
+
+    def test_in_place_graph_swap_detected(self):
+        """``gm.graph = other`` mutates the module the Interpreter already
+        holds; the next run must use fresh tables, not stale Node keys."""
+        gm = symbolic_trace(lambda x: repro.relu(x))
+        donor = symbolic_trace(lambda x: x.neg())
+        interp = Interpreter(gm)
+        interp.run(repro.tensor([-4.0]))
+        gm.graph = donor.graph
+        out = interp.run(repro.tensor([-4.0]))
+        assert out.tolist() == [4.0]
+        assert all(n.graph is gm.graph for n in interp._node_handlers)
+
+    def test_subclass_override_before_construction_still_precomputed(self):
+        """The common case — override in the class body — keeps using the
+        precomputed table (no dynamic fallback)."""
+
+        class Doubling(Interpreter):
+            def call_function(self, target, args, kwargs):
+                return target(*args, **kwargs) * 2
+
+        gm = symbolic_trace(lambda x: repro.relu(x))
+        interp = Doubling(gm)
+        assert interp.run(repro.tensor([3.0])).tolist() == [6.0]
+
+
 class TestTransformer:
     def test_identity_transform_preserves_semantics(self):
         model = SimpleCNN().eval()
