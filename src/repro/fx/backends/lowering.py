@@ -22,11 +22,13 @@ compile work is ever started and then thrown away.
 from __future__ import annotations
 
 import pickle
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
 from ...nn import Module
+from ..concurrency import KeyedMutex
 from ..graph import UnstableHashError
 from ..graph_module import GraphModule
 from ..passes import PassManager, PassRecord
@@ -97,24 +99,33 @@ class BackendReport:
 #: hash covers parameter/buffer bytes, so an equal key implies the same
 #: function.  Shared modules are safe for sequential reuse (backends with
 #: per-call state must set ``cacheable = False``).
+#:
+#: Concurrency: dict + counters under ``_CACHE_LOCK``; engine builds run
+#: outside it but single-flighted per key through ``_COMPILE_MUTEX``, so
+#: concurrent lowerings of structurally identical partitions build once
+#: and share the module (one miss, the rest hits).
 _SUBGRAPH_CACHE: Dict[tuple, Module] = {}
 _CACHE_STATS = {"hits": 0, "misses": 0}
+_CACHE_LOCK = threading.Lock()
+_COMPILE_MUTEX = KeyedMutex()
 
 
 def subgraph_cache_info() -> dict[str, int]:
     """Hit/miss/size counters for the shared per-partition compile memo."""
-    return {
-        "hits": _CACHE_STATS["hits"],
-        "misses": _CACHE_STATS["misses"],
-        "size": len(_SUBGRAPH_CACHE),
-    }
+    with _CACHE_LOCK:
+        return {
+            "hits": _CACHE_STATS["hits"],
+            "misses": _CACHE_STATS["misses"],
+            "size": len(_SUBGRAPH_CACHE),
+        }
 
 
 def clear_subgraph_cache() -> None:
     """Drop every memoized compiled partition."""
-    _SUBGRAPH_CACHE.clear()
-    _CACHE_STATS["hits"] = 0
-    _CACHE_STATS["misses"] = 0
+    with _CACHE_LOCK:
+        _SUBGRAPH_CACHE.clear()
+        _CACHE_STATS["hits"] = 0
+        _CACHE_STATS["misses"] = 0
 
 
 def _compile_partition(backend: Backend, sub_gm: GraphModule,
@@ -133,16 +144,29 @@ def _compile_partition(backend: Backend, sub_gm: GraphModule,
         # Un-pickle-able leaf state means the hash would fall back to
         # object identity — skip the memo rather than cache unsoundly.
         return backend.compile_subgraph(sub_gm)
-    cached = _SUBGRAPH_CACHE.get(key)
+
+    def lookup() -> Optional[Module]:
+        with _CACHE_LOCK:
+            cached = _SUBGRAPH_CACHE.get(key)
+            if cached is not None:
+                stats["hits"] += 1
+                _CACHE_STATS["hits"] += 1
+            return cached
+
+    cached = lookup()
     if cached is not None:
-        stats["hits"] += 1
-        _CACHE_STATS["hits"] += 1
         return cached
-    compiled = backend.compile_subgraph(sub_gm)
-    stats["misses"] += 1
-    _CACHE_STATS["misses"] += 1
-    _SUBGRAPH_CACHE[key] = compiled
-    return compiled
+    # Single-flight: one builder per key; racers wait, then hit above.
+    with _COMPILE_MUTEX.acquire(key):
+        cached = lookup()
+        if cached is not None:
+            return cached
+        compiled = backend.compile_subgraph(sub_gm)
+        with _CACHE_LOCK:
+            stats["misses"] += 1
+            _CACHE_STATS["misses"] += 1
+            _SUBGRAPH_CACHE[key] = compiled
+        return compiled
 
 
 # -- the entrypoint ------------------------------------------------------------

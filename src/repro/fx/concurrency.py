@@ -1,0 +1,85 @@
+"""Concurrency primitives shared by the compile-stack caches.
+
+Until the serving runtime arrived, every cache in ``repro.fx`` — the
+codegen LRU in :meth:`~repro.fx.GraphModule.recompile`, the
+:class:`~repro.fx.passes.TransformCache`, the ``compile_to_vm`` memo and
+the per-partition memo in ``to_backend`` — assumed a single caller.
+Under a worker pool that assumption breaks in two ways:
+
+* **bookkeeping corruption** — ``OrderedDict.move_to_end`` /
+  ``popitem`` racing with inserts can raise or lose entries, and
+  ``hits += 1`` is a read-modify-write that drops increments;
+* **duplicate compiles** — N workers asking for the same key all miss
+  and all compile, so counters drift from reality (N misses for one
+  insertion) and N distinct artifact objects circulate where callers
+  expect one shared one.
+
+The first problem is solved with a plain lock around each cache's
+bookkeeping.  The second is solved with :class:`KeyedMutex`: a per-key
+critical section, so the first worker through compiles while equal-key
+workers wait and then find the entry — one miss, N-1 hits, and one
+shared artifact, no matter the interleaving.  Distinct keys never
+contend on anything but the (cheap) registry lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List
+
+__all__ = ["KeyedMutex"]
+
+
+class KeyedMutex:
+    """A mutual-exclusion region per *key*.
+
+    ``with mutex.acquire(key):`` blocks while any other thread is inside
+    the region for an equal key; different keys proceed concurrently.
+    Entries are reference-counted and dropped when the last holder
+    leaves, so the registry never grows beyond the number of keys
+    currently in flight.
+
+    The intended caching idiom (single-flight compilation)::
+
+        with lock:                       # fast path, no per-key state
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+        with mutex.acquire(key):         # one builder per key
+            with lock:                   # another builder may have won
+                hit = cache.get(key)
+                if hit is not None:
+                    return hit
+            artifact = expensive_build()
+            with lock:
+                cache[key] = artifact
+            return artifact
+    """
+
+    def __init__(self) -> None:
+        self._registry_lock = threading.Lock()
+        #: key -> [lock, refcount]
+        self._entries: Dict[Any, List[Any]] = {}
+
+    @contextmanager
+    def acquire(self, key: Any) -> Iterator[None]:
+        with self._registry_lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = self._entries[key] = [threading.Lock(), 0]
+            entry[1] += 1
+        entry[0].acquire()
+        try:
+            yield
+        finally:
+            entry[0].release()
+            with self._registry_lock:
+                entry[1] -= 1
+                if entry[1] == 0:
+                    self._entries.pop(key, None)
+
+    def in_flight(self) -> int:
+        """Number of keys with at least one holder (diagnostics only)."""
+        with self._registry_lock:
+            return len(self._entries)

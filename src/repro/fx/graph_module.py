@@ -10,9 +10,11 @@ can be called, further transformed, re-traced (Figure 3), saved to disk
 
 from __future__ import annotations
 
+import itertools
 import linecache
 import os
 import pickle
+import threading
 import types
 from collections import OrderedDict
 from typing import Any, Callable, Optional
@@ -25,12 +27,13 @@ __all__ = ["GraphModule", "codegen_cache_info", "clear_codegen_cache"]
 
 # Each generated forward gets a unique pseudo-filename registered in
 # linecache so pdb / tracebacks can show the generated source (§5.4).
-_NEXT_CODE_ID = [0]
+# itertools.count: next() is atomic, so concurrent recompiles can never
+# mint the same filename (a list-cell counter could).
+_NEXT_CODE_ID = itertools.count()
 
 
 def _register_source(src: str) -> str:
-    filename = f"<fx-generated-{_NEXT_CODE_ID[0]}>"
-    _NEXT_CODE_ID[0] += 1
+    filename = f"<fx-generated-{next(_NEXT_CODE_ID)}>"
     linecache.cache[filename] = (len(src), None, src.splitlines(True), filename)
     return filename
 
@@ -50,11 +53,20 @@ class _CodegenCache:
     ``recompile()``.  LRU-bounded; eviction also drops the entry's
     linecache registration, so repeated recompilation no longer grows
     ``linecache.cache`` without bound.
+
+    Thread-safe: every method holds one lock, because even ``get``
+    mutates (``move_to_end`` for LRU recency plus the hit/miss counters).
+    Two threads missing the same key may both compile and both ``put`` —
+    the second insert replaces the first, evicting its linecache entry,
+    so the cache still holds exactly one entry per key and the counters
+    add up (codegen is deterministic, so either function object is
+    equally valid).
     """
 
     def __init__(self, maxsize: int):
         self.maxsize = maxsize
         self._entries: "OrderedDict[tuple, tuple[str, Callable, dict, str]]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -63,30 +75,39 @@ class _CodegenCache:
         return self.maxsize > 0
 
     def get(self, key: tuple) -> Optional[tuple[str, Callable, dict, str]]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: tuple, entry: tuple[str, Callable, dict, str]) -> None:
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            _, (_, _, _, stale_filename) = self._entries.popitem(last=False)
-            _evict_source(stale_filename)
+        with self._lock:
+            stale = self._entries.get(key)
+            if stale is not None and stale[3] != entry[3]:
+                # A concurrent compile of the same key won the race; keep
+                # one linecache entry per cached compile, not two.
+                _evict_source(stale[3])
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                _, (_, _, _, stale_filename) = self._entries.popitem(last=False)
+                _evict_source(stale_filename)
 
     def clear(self) -> None:
-        for _, _, _, filename in self._entries.values():
-            _evict_source(filename)
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            for _, _, _, filename in self._entries.values():
+                _evict_source(filename)
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 _CODEGEN_CACHE = _CodegenCache(

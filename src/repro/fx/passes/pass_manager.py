@@ -37,6 +37,7 @@ different passes that happen to share a name can't collide.
 from __future__ import annotations
 
 import pickle
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -153,36 +154,49 @@ class TransformCache:
     module, so cached results are never shared mutable state — and a run
     of consecutive hits is chained through the stored output hashes, so
     intermediate results are never materialized at all.
+
+    Thread-safe: lookup/store/clear hold one lock (``lookup`` mutates —
+    LRU recency and the hit/miss counters), so concurrent PassManagers
+    sharing the process-wide cache can't corrupt the OrderedDict or lose
+    counter increments.  Entries themselves carry pickle bytes (immutable)
+    plus lazily-promoted ``linted``/``verify_snapshot`` fields whose
+    writes are idempotent (recomputed from the same payload), so
+    entry-level races are benign.
     """
 
     def __init__(self, maxsize: int = 1024):
         self.maxsize = maxsize
         self._entries: "OrderedDict[tuple[str, str], CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def lookup(self, key: tuple[str, str]) -> Optional[CacheEntry]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def store(self, key: tuple[str, str], entry: CacheEntry) -> None:
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 _SHARED_CACHE = TransformCache()

@@ -50,7 +50,11 @@ __all__ = [
 class VMModule(Module):
     """An ``nn.Module`` facade over a compiled :class:`VMProgram`, so a
     VM-executed graph drops back into the module ecosystem (callable,
-    composable, picklable, and — as a leaf module — re-traceable)."""
+    composable, picklable, and — as a leaf module — re-traceable).
+
+    Safe to share across threads: ``VMProgram.run`` leases a private
+    arena per call (see the program's lease pool), so one ``VMModule``
+    can serve a whole worker pool without cloning."""
 
     def __init__(self, program: VMProgram):
         super().__init__()

@@ -1,0 +1,7 @@
+"""``python -m repro.serve`` — run the serving smoke test."""
+
+import sys
+
+from .smoke import main
+
+sys.exit(main())

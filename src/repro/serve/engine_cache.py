@@ -1,0 +1,259 @@
+"""The serving engine cache: compile once, replay everywhere.
+
+An **engine** is a self-contained compiled artifact — in practice a
+:class:`~repro.fx.vm.VMProgram` (picklable, weights baked in) or any
+other picklable module a backend returns.  Engines are keyed by
+:class:`EngineKey`:
+
+    (graph hash, backend, executor, batched input signature)
+
+where the graph hash is ``Graph.structural_hash(include_attrs=True,
+require_stable=True, canonicalize_targets=True)`` — identity rests on
+ops + state bytes, so the same model registered twice, or two processes
+serving the same checkpoint, map to the same engine.  The input
+signature is part of the key because the compile pipeline (fusion,
+memory planning) specializes against example shapes: one engine per
+batch-size bucket keeps every request on the guarded fast path.
+
+Lookup order is memory -> disk -> build:
+
+* **memory** — a bounded LRU of live engines;
+* **disk** — ``<digest>.engine`` files under the cache directory, so a
+  cold process *loads* instead of recompiling (the ROADMAP cold-start
+  story).  Files are written atomically (tmp + ``os.replace``) and
+  carry a format version, the full key, and a payload checksum;
+* **build** — the caller's builder runs, and the result is persisted.
+
+Integrity: a disk artifact is served **only** when every check passes —
+the wrapper unpickles, the format version matches, the embedded key
+equals the requested key (a stale file or version skew must miss and
+recompile, never serve wrong code), the payload checksum matches, and
+the payload unpickles.  Any failure counts (``corrupt`` / ``stale``)
+and falls through to a rebuild, which then overwrites the bad file.
+
+Thread-safe: bookkeeping under one lock, builds and disk I/O
+single-flighted per key via :class:`~repro.fx.concurrency.KeyedMutex`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..fx.concurrency import KeyedMutex
+from ..fx.graph_module import GraphModule
+
+__all__ = ["ENGINE_FORMAT_VERSION", "EngineKey", "EngineCache"]
+
+#: Bump when the on-disk wrapper layout or artifact semantics change;
+#: files with any other version are treated as stale and rebuilt.
+ENGINE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class EngineKey:
+    """Identity of one compiled serving engine.
+
+    Attributes:
+        graph_hash: canonicalized stable structural hash of the captured
+            graph (ops + state bytes; rename- and re-trace-stable).
+        backend: backend registry name the engine was compiled for.
+        executor: execution tier (``"vm"`` / ``"codegen"``).
+        signature: ``((shape, dtype_name), ...)`` of the (batched)
+            example inputs compilation specialized against.
+    """
+
+    graph_hash: str
+    backend: str
+    executor: str
+    signature: tuple
+
+    def token(self) -> str:
+        """Filesystem-safe digest naming this key's on-disk artifact."""
+        raw = repr((self.graph_hash, self.backend, self.executor,
+                    self.signature))
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()
+
+    @staticmethod
+    def for_graph(gm: GraphModule, backend: str, executor: str,
+                  signature: tuple) -> "EngineKey":
+        """Build a key for *gm*; raises
+        :class:`~repro.fx.graph.UnstableHashError` when the graph has no
+        stable hash (such graphs must not be cached on disk)."""
+        return EngineKey(
+            graph_hash=gm.graph.structural_hash(
+                include_attrs=True, require_stable=True,
+                canonicalize_targets=True),
+            backend=backend,
+            executor=executor,
+            signature=tuple(signature),
+        )
+
+
+def input_signature(inputs) -> tuple:
+    """``((shape, dtype_name), ...)`` over tensor inputs (the engine-key
+    form of "what shapes was this compiled for")."""
+    sig = []
+    for x in inputs:
+        data = getattr(x, "data", None)
+        if data is None:
+            sig.append(("const", repr(x)))
+        else:
+            sig.append((tuple(data.shape), str(data.dtype)))
+    return tuple(sig)
+
+
+class EngineCache:
+    """Memory + disk cache of compiled serving engines.
+
+    Args:
+        directory: on-disk persistence root (created on first store);
+            ``None`` disables persistence (memory-only).
+        max_memory_entries: LRU bound for live engines.
+
+    Counters (see :meth:`info`): ``hits`` (memory), ``disk_hits``
+    (loaded + verified from disk), ``builds`` (builder invocations),
+    ``stores`` (successful disk writes), ``stale`` (key/version
+    mismatch), ``corrupt`` (unreadable/truncated/checksum-failed files).
+    """
+
+    def __init__(self, directory: Optional[str] = None,
+                 max_memory_entries: int = 64):
+        self.directory = directory
+        self.max_memory_entries = max_memory_entries
+        self._mem: "OrderedDict[EngineKey, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._flight = KeyedMutex()
+        self._stats = {"hits": 0, "disk_hits": 0, "builds": 0,
+                       "stores": 0, "stale": 0, "corrupt": 0}
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def info(self) -> dict:
+        with self._lock:
+            out = dict(self._stats)
+            out["size"] = len(self._mem)
+            return out
+
+    def clear_memory(self) -> None:
+        """Drop live engines (disk artifacts are kept)."""
+        with self._lock:
+            self._mem.clear()
+
+    def _mem_get(self, key: EngineKey) -> Optional[Any]:
+        with self._lock:
+            engine = self._mem.get(key)
+            if engine is not None:
+                self._mem.move_to_end(key)
+                self._stats["hits"] += 1
+            return engine
+
+    def _mem_put(self, key: EngineKey, engine: Any) -> None:
+        with self._lock:
+            self._mem[key] = engine
+            self._mem.move_to_end(key)
+            while len(self._mem) > self.max_memory_entries:
+                self._mem.popitem(last=False)
+
+    def _count(self, counter: str) -> None:
+        with self._lock:
+            self._stats[counter] += 1
+
+    # -- disk layer --------------------------------------------------------------
+
+    def _path_for(self, key: EngineKey) -> Optional[str]:
+        if self.directory is None:
+            return None
+        return os.path.join(self.directory, f"{key.token()}.engine")
+
+    def _load_disk(self, key: EngineKey) -> Optional[Any]:
+        """Load + verify the artifact for *key*; any failed check is a
+        counted miss (never an exception, never a wrong engine)."""
+        path = self._path_for(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as f:
+                wrapper = pickle.load(f)
+        except Exception:
+            # Truncated file, garbage bytes, or an unpicklable wrapper.
+            self._count("corrupt")
+            return None
+        if not isinstance(wrapper, dict) \
+                or wrapper.get("version") != ENGINE_FORMAT_VERSION:
+            self._count("stale")
+            return None
+        if wrapper.get("key") != key:
+            # The file answers a different question than we asked (hash
+            # collision in the token space, or a hand-renamed file):
+            # serving it would run the wrong program.
+            self._count("stale")
+            return None
+        payload = wrapper.get("payload")
+        digest = wrapper.get("payload_sha256")
+        if not isinstance(payload, bytes) \
+                or hashlib.sha256(payload).hexdigest() != digest:
+            self._count("corrupt")
+            return None
+        try:
+            engine = pickle.loads(payload)
+        except Exception:
+            self._count("corrupt")
+            return None
+        self._count("disk_hits")
+        return engine
+
+    def _store_disk(self, key: EngineKey, engine: Any) -> None:
+        path = self._path_for(key)
+        if path is None:
+            return
+        try:
+            payload = pickle.dumps(engine)
+        except Exception:
+            return  # unpicklable engine: memory-only
+        wrapper = {
+            "version": ENGINE_FORMAT_VERSION,
+            "key": key,
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+            "payload": payload,
+        }
+        os.makedirs(self.directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(wrapper, f)
+            os.replace(tmp, path)  # atomic: readers see old or new, never half
+        except Exception:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self._count("stores")
+
+    # -- the entrypoint ----------------------------------------------------------
+
+    def get_or_build(self, key: EngineKey,
+                     builder: Callable[[], Any]) -> Any:
+        """Return the engine for *key*, building at most once per key
+        across all concurrent callers (memory -> disk -> ``builder()``)."""
+        engine = self._mem_get(key)
+        if engine is not None:
+            return engine
+        with self._flight.acquire(key):
+            engine = self._mem_get(key)
+            if engine is not None:
+                return engine
+            engine = self._load_disk(key)
+            if engine is None:
+                self._count("builds")
+                engine = builder()
+                self._store_disk(key, engine)
+            self._mem_put(key, engine)
+            return engine

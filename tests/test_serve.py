@@ -1,0 +1,543 @@
+"""Tests for ``repro.serve`` (PR 7).
+
+Covers the tentpole guarantees end to end:
+
+* **batching window semantics** — k same-shape concurrent requests
+  coalesce into one batched forward; the size cap flushes early; a late
+  request opens a new window;
+* **mixed-shape traffic never cross-batches** — the pending queue is
+  keyed by the full per-sample signature, so every executed batch is
+  shape/dtype-uniform;
+* **worker-pool exactness** — responses equal per-request eager
+  execution under 8-way concurrency, including over the fuzz
+  generator's randomized programs;
+* **cold-start load-not-recompile** — a fresh server over a warm cache
+  directory serves from disk (``disk_hits``) with zero builds, and a
+  stale or corrupted artifact is a counted miss that rebuilds, never
+  wrong code.
+"""
+
+import asyncio
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+import repro
+import repro.functional as F
+from repro import nn
+from repro.fx.testing.generator import generate_program, spec_for_iteration
+from repro.serve import (
+    ENGINE_FORMAT_VERSION,
+    BatchError,
+    BatchKey,
+    EngineCache,
+    EngineKey,
+    InferenceServer,
+    ServeConfig,
+    batch_key_of,
+    coalesce,
+    split_results,
+)
+from repro.tensor import Tensor
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class Pointwise(nn.Module):
+    def forward(self, x):
+        return F.sigmoid(F.relu(x) * 1.01 + 0.1)
+
+
+class SmallMLP(nn.Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = nn.Linear(8, 16)
+        self.fc2 = nn.Linear(16, 4)
+
+    def forward(self, x):
+        return self.fc2(F.relu(self.fc1(x)))
+
+
+def make_server(**overrides):
+    defaults = dict(workers=4, batch_window_s=0.05, max_batch_size=64)
+    defaults.update(overrides)
+    return InferenceServer(ServeConfig(**defaults))
+
+
+# -- batching primitives --------------------------------------------------------
+
+
+class TestBatchingPrimitives:
+    def test_batch_key_signature_drops_leading_dim(self):
+        key, rows = batch_key_of("m", (repro.randn(3, 4, 5),))
+        assert rows == 3
+        assert key == BatchKey("m", (((4, 5), "float32"),))
+
+    def test_batch_key_rejects_scalar_and_non_tensor(self):
+        with pytest.raises(BatchError):
+            batch_key_of("m", (Tensor._wrap(np.float32(1.0).reshape(())),))
+        with pytest.raises(BatchError):
+            batch_key_of("m", (3.5,))
+        with pytest.raises(BatchError):
+            batch_key_of("m", ())
+
+    def test_batch_key_rejects_row_disagreement(self):
+        with pytest.raises(BatchError):
+            batch_key_of("m", (repro.randn(2, 4), repro.randn(3, 4)))
+
+    def test_coalesce_split_roundtrip_zero_copy(self):
+        xs = [repro.randn(r, 6) for r in (1, 3, 2)]
+        (batched,) = coalesce([(x,) for x in xs])
+        assert batched.data.shape == (6, 6)
+        parts = split_results(batched, [1, 3, 2])
+        for x, part in zip(xs, parts):
+            assert np.array_equal(part.data, x.data)
+            # Zero-copy contract: each part views the batched buffer.
+            assert part.data.base is batched.data
+
+    def test_split_nested_outputs(self):
+        a, b = repro.randn(5, 2), repro.randn(5, 3)
+        parts = split_results((a, [b]), [2, 3])
+        assert isinstance(parts[0], tuple) and isinstance(parts[0][1], list)
+        assert np.array_equal(parts[1][0].data, a.data[2:])
+        assert np.array_equal(parts[1][1][0].data, b.data[2:])
+
+    def test_split_rejects_unsplittable_output(self):
+        with pytest.raises(BatchError):
+            split_results(repro.randn(4, 2), [2, 3])  # 5 rows expected
+        with pytest.raises(BatchError):
+            split_results("not a tensor", [1, 1])
+
+
+# -- window semantics -----------------------------------------------------------
+
+
+class TestBatchingWindow:
+    def test_window_coalesces_concurrent_requests(self):
+        async def go():
+            async with make_server() as server:
+                model = Pointwise().eval()
+                server.register("pw", model)
+                xs = [repro.randn(1, 8) for _ in range(6)]
+                outs = await asyncio.gather(
+                    *(server.infer("pw", x) for x in xs))
+                for x, out in zip(xs, outs):
+                    assert np.allclose(out.data, model(x).data, atol=1e-6)
+                return server.batch_log()
+
+        log = run(go())
+        assert len(log) == 1
+        assert log[0].n_requests == 6 and log[0].rows == 6
+
+    def test_size_cap_flushes_before_window(self):
+        async def go():
+            # Window far longer than the test: only the row cap can
+            # flush the first batch.
+            async with make_server(batch_window_s=30.0,
+                                   max_batch_size=4) as server:
+                server.register("pw", Pointwise().eval())
+                first = asyncio.gather(
+                    *(server.infer("pw", repro.randn(1, 8))
+                      for _ in range(4)))
+                await asyncio.wait_for(first, timeout=10)
+                return server.batch_log()
+
+        log = run(go())
+        assert len(log) == 1 and log[0].rows == 4
+
+    def test_late_request_opens_new_window(self):
+        async def go():
+            async with make_server(batch_window_s=0.01) as server:
+                server.register("pw", Pointwise().eval())
+                await server.infer("pw", repro.randn(1, 8))
+                await asyncio.sleep(0.05)  # window long expired
+                await server.infer("pw", repro.randn(1, 8))
+                return server.batch_log()
+
+        log = run(go())
+        assert len(log) == 2
+        assert all(r.n_requests == 1 for r in log)
+
+    def test_multi_row_requests_count_rows(self):
+        async def go():
+            async with make_server(max_batch_size=8) as server:
+                model = Pointwise().eval()
+                server.register("pw", model)
+                xs = [repro.randn(r, 8) for r in (3, 5, 2)]
+                outs = await asyncio.gather(
+                    *(server.infer("pw", x) for x in xs))
+                for x, out in zip(xs, outs):
+                    assert out.data.shape == x.data.shape
+                    assert np.allclose(out.data, model(x).data, atol=1e-6)
+                return server.batch_log()
+
+        log = run(go())
+        # 3+5 hits the cap of 8; the 2-row request lands in a second batch.
+        assert [r.rows for r in log] == [8, 2]
+
+    def test_batching_disabled_runs_requests_alone(self):
+        async def go():
+            async with make_server(batching=False) as server:
+                model = Pointwise().eval()
+                server.register("pw", model)
+                xs = [repro.randn(1, 8) for _ in range(5)]
+                outs = await asyncio.gather(
+                    *(server.infer("pw", x) for x in xs))
+                for x, out in zip(xs, outs):
+                    assert np.allclose(out.data, model(x).data, atol=1e-6)
+                return server.batch_log()
+
+        assert run(go()) == []  # unbatched path records no batches
+
+
+# -- mixed traffic --------------------------------------------------------------
+
+
+class TestMixedTraffic:
+    def test_mixed_shapes_never_cross_batch(self):
+        async def go():
+            async with make_server() as server:
+                model = Pointwise().eval()
+                server.register("pw", model)
+                xs = [repro.randn(1, 8) for _ in range(4)] \
+                    + [repro.randn(1, 16) for _ in range(3)]
+                outs = await asyncio.gather(
+                    *(server.infer("pw", x) for x in xs))
+                for x, out in zip(xs, outs):
+                    assert np.allclose(out.data, model(x).data, atol=1e-6)
+                return server.batch_log()
+
+        log = run(go())
+        by_sig = {rec.signature: rec.n_requests for rec in log}
+        assert by_sig == {(((8,), "float32"),): 4,
+                          (((16,), "float32"),): 3}
+
+    def test_mixed_dtypes_never_cross_batch(self):
+        async def go():
+            async with make_server() as server:
+                model = Pointwise().eval()
+                server.register("pw", model)
+                a = repro.randn(1, 8)
+                b = Tensor._wrap(a.data.astype(np.float64))
+                outs = await asyncio.gather(server.infer("pw", a),
+                                            server.infer("pw", b))
+                return server.batch_log(), outs
+
+        log, _ = run(go())
+        assert len(log) == 2  # one single-request batch per dtype
+
+    def test_mixed_models_never_cross_batch(self):
+        async def go():
+            async with make_server() as server:
+                server.register("a", Pointwise().eval())
+                server.register("b", Pointwise().eval())
+                await asyncio.gather(
+                    *(server.infer(name, repro.randn(1, 8))
+                      for name in ("a", "b", "a", "b")))
+                return server.batch_log()
+
+        log = run(go())
+        assert {(r.model, r.n_requests) for r in log} == {("a", 2), ("b", 2)}
+
+    def test_unbatchable_request_falls_back_to_single(self):
+        class TakesScalar(nn.Module):
+            def forward(self, x, alpha):
+                return x * alpha
+
+        async def go():
+            async with make_server() as server:
+                model = TakesScalar().eval()
+                server.register("sc", model)
+                x = repro.randn(2, 4)
+                out = await server.infer("sc", x, 2.5)  # float arg: no batch
+                assert np.allclose(out.data, model(x, 2.5).data, atol=1e-6)
+                return server.batch_log()
+
+        assert run(go()) == []
+
+    def test_unknown_model_raises(self):
+        async def go():
+            async with make_server() as server:
+                with pytest.raises(KeyError):
+                    await server.infer("nope", repro.randn(1, 4))
+
+        run(go())
+
+
+# -- worker-pool exactness ------------------------------------------------------
+
+
+class TestWorkerPoolExactness:
+    def test_8way_concurrency_batched_mlp(self):
+        repro.manual_seed(5)
+        model = SmallMLP().eval()
+        xs = [repro.randn(1 + i % 3, 8) for i in range(32)]
+        expected = [model(x).data for x in xs]
+
+        async def go():
+            async with make_server(workers=8,
+                                   max_batch_size=8) as server:
+                server.register("mlp", model)
+                return await asyncio.gather(
+                    *(server.infer("mlp", x) for x in xs))
+
+        outs = run(go())
+        for out, exp in zip(outs, expected):
+            assert np.allclose(out.data, exp, atol=1e-6)
+
+    def test_8way_concurrency_fuzz_generator_programs(self):
+        """The PR-6 fuzz generator's randomized programs, served through
+        the worker pool with batching off (generated graphs are not
+        guaranteed batch-independent): every response must equal eager."""
+
+        def assert_same(got, exp):
+            if isinstance(exp, Tensor):
+                assert np.allclose(got.data, exp.data, atol=1e-5)
+            elif isinstance(exp, dict):
+                assert set(got) == set(exp)
+                for k in exp:
+                    assert_same(got[k], exp[k])
+            elif isinstance(exp, (tuple, list)):
+                assert len(got) == len(exp)
+                for g, e in zip(got, exp):
+                    assert_same(g, e)
+            else:
+                assert got == exp
+
+        programs = [generate_program(spec_for_iteration(2022, i))
+                    for i in range(6)]
+        expected = [p.gm(*p.inputs) for p in programs]
+
+        async def go():
+            async with make_server(workers=8, batching=False) as server:
+                for i, p in enumerate(programs):
+                    server.register(f"fuzz{i}", p.gm)
+                jobs = [server.infer(f"fuzz{i}", *p.inputs)
+                        for i, p in enumerate(programs)
+                        for _ in range(4)]
+                return await asyncio.gather(*jobs)
+
+        outs = run(go())
+        assert len(outs) == len(programs) * 4
+        for j, out in enumerate(outs):
+            assert_same(out, expected[j // 4])
+
+    def test_codegen_executor_serves_too(self):
+        async def go():
+            async with make_server(executor="codegen") as server:
+                model = SmallMLP().eval()
+                server.register("mlp", model)
+                x = repro.randn(4, 8)
+                out = await server.infer("mlp", x)
+                assert np.allclose(out.data, model(x).data, atol=1e-6)
+
+        run(go())
+
+
+# -- engine cache: cold start + integrity ---------------------------------------
+
+
+def _serve_once(cache_dir, seed=3):
+    """One server lifetime over *cache_dir*; returns the engine-cache
+    counters after a single request."""
+    async def go():
+        repro.manual_seed(seed)
+        model = SmallMLP().eval()
+        async with InferenceServer(ServeConfig(
+                workers=2, cache_dir=str(cache_dir))) as server:
+            server.register("mlp", model)
+            repro.manual_seed(99)
+            x = repro.randn(4, 8)
+            out = await server.infer("mlp", x)
+            assert np.allclose(out.data, model(x).data, atol=1e-6)
+            return server.stats()["engine_cache"]
+
+    return run(go())
+
+
+class TestColdStart:
+    def test_cold_start_loads_instead_of_recompiling(self, tmp_path):
+        first = _serve_once(tmp_path)
+        assert first["builds"] == 1 and first["stores"] == 1
+        assert first["disk_hits"] == 0
+
+        # Same checkpoint (same seed -> same weights -> same structural
+        # hash), fresh process-equivalent: must load, not recompile.
+        second = _serve_once(tmp_path)
+        assert second["builds"] == 0
+        assert second["disk_hits"] == 1
+        assert second["stale"] == second["corrupt"] == 0
+
+    def test_different_weights_do_not_share_engines(self, tmp_path):
+        _serve_once(tmp_path, seed=3)
+        other = _serve_once(tmp_path, seed=4)  # different state bytes
+        assert other["builds"] == 1  # hash differs -> no disk hit
+        assert other["disk_hits"] == 0
+
+    def test_memory_hits_after_first_request(self, tmp_path):
+        async def go():
+            repro.manual_seed(3)
+            model = SmallMLP().eval()
+            async with InferenceServer(ServeConfig(
+                    workers=2, batching=False,
+                    cache_dir=str(tmp_path))) as server:
+                server.register("mlp", model)
+                x = repro.randn(4, 8)
+                for _ in range(3):
+                    await server.infer("mlp", x)
+                return server.stats()["engine_cache"]
+
+        info = run(go())
+        assert info["builds"] == 1 and info["hits"] == 2
+
+
+def _one_artifact(directory):
+    files = [f for f in os.listdir(directory) if f.endswith(".engine")]
+    assert len(files) == 1
+    return os.path.join(directory, files[0])
+
+
+class TestEngineCacheIntegrity:
+    KEY = EngineKey(graph_hash="00" * 32, backend="numpy", executor="vm",
+                    signature=(((4, 8), "float32"),))
+
+    def _build_counter(self):
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return {"engine": len(calls)}
+
+        return builder, calls
+
+    def test_roundtrip_and_disk_reload(self, tmp_path):
+        builder, calls = self._build_counter()
+        cache = EngineCache(directory=str(tmp_path))
+        assert cache.get_or_build(self.KEY, builder) == {"engine": 1}
+        assert cache.get_or_build(self.KEY, builder) == {"engine": 1}
+        assert len(calls) == 1
+
+        fresh = EngineCache(directory=str(tmp_path))
+        assert fresh.get_or_build(self.KEY, builder) == {"engine": 1}
+        assert len(calls) == 1
+        assert fresh.info()["disk_hits"] == 1
+
+    def test_truncated_file_is_corrupt_miss_then_rebuild(self, tmp_path):
+        builder, calls = self._build_counter()
+        EngineCache(directory=str(tmp_path)).get_or_build(self.KEY, builder)
+        path = _one_artifact(tmp_path)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as f:
+            f.write(blob[: len(blob) // 2])
+
+        fresh = EngineCache(directory=str(tmp_path))
+        assert fresh.get_or_build(self.KEY, builder) == {"engine": 2}
+        info = fresh.info()
+        assert info["corrupt"] == 1 and info["builds"] == 1
+        # The rebuild overwrote the bad file: next cold cache loads fine.
+        again = EngineCache(directory=str(tmp_path))
+        assert again.get_or_build(self.KEY, builder) == {"engine": 2}
+        assert again.info()["disk_hits"] == 1
+
+    def test_garbage_bytes_are_corrupt_miss(self, tmp_path):
+        builder, calls = self._build_counter()
+        EngineCache(directory=str(tmp_path)).get_or_build(self.KEY, builder)
+        with open(_one_artifact(tmp_path), "wb") as f:
+            f.write(b"\x00not a pickle\xff" * 16)
+        fresh = EngineCache(directory=str(tmp_path))
+        fresh.get_or_build(self.KEY, builder)
+        assert fresh.info()["corrupt"] == 1
+
+    def test_checksum_mismatch_is_corrupt_miss(self, tmp_path):
+        builder, calls = self._build_counter()
+        EngineCache(directory=str(tmp_path)).get_or_build(self.KEY, builder)
+        path = _one_artifact(tmp_path)
+        wrapper = pickle.load(open(path, "rb"))
+        wrapper["payload"] = wrapper["payload"] + b"tamper"
+        pickle.dump(wrapper, open(path, "wb"))
+        fresh = EngineCache(directory=str(tmp_path))
+        assert fresh.get_or_build(self.KEY, builder) == {"engine": 2}
+        assert fresh.info()["corrupt"] == 1
+
+    def test_stale_key_under_right_filename_is_stale_miss(self, tmp_path):
+        """A file whose embedded key disagrees with the requested key
+        (hand-renamed artifact, or a token-space collision) must never be
+        served: key echo catches it as ``stale`` and the engine is
+        rebuilt."""
+        builder, calls = self._build_counter()
+        EngineCache(directory=str(tmp_path)).get_or_build(self.KEY, builder)
+        path = _one_artifact(tmp_path)
+        wrapper = pickle.load(open(path, "rb"))
+        wrapper["key"] = EngineKey(graph_hash="ff" * 32, backend="numpy",
+                                   executor="vm",
+                                   signature=self.KEY.signature)
+        pickle.dump(wrapper, open(path, "wb"))
+        fresh = EngineCache(directory=str(tmp_path))
+        assert fresh.get_or_build(self.KEY, builder) == {"engine": 2}
+        info = fresh.info()
+        assert info["stale"] == 1 and info["disk_hits"] == 0
+
+    def test_version_skew_is_stale_miss(self, tmp_path):
+        builder, calls = self._build_counter()
+        EngineCache(directory=str(tmp_path)).get_or_build(self.KEY, builder)
+        path = _one_artifact(tmp_path)
+        wrapper = pickle.load(open(path, "rb"))
+        assert wrapper["version"] == ENGINE_FORMAT_VERSION
+        wrapper["version"] = ENGINE_FORMAT_VERSION + 1
+        pickle.dump(wrapper, open(path, "wb"))
+        fresh = EngineCache(directory=str(tmp_path))
+        fresh.get_or_build(self.KEY, builder)
+        assert fresh.info()["stale"] == 1
+
+    def test_memory_lru_bound(self):
+        cache = EngineCache(max_memory_entries=2)
+        for i in range(4):
+            key = EngineKey(graph_hash=f"{i:02x}" * 32, backend="numpy",
+                            executor="vm", signature=())
+            cache.get_or_build(key, lambda i=i: i)
+        assert cache.info()["size"] == 2
+
+
+# -- server stats ----------------------------------------------------------------
+
+
+class TestStats:
+    def test_stats_shape(self):
+        async def go():
+            async with make_server() as server:
+                server.register("pw", Pointwise().eval())
+                await asyncio.gather(
+                    *(server.infer("pw", repro.randn(1, 8))
+                      for _ in range(4)))
+                return server.stats()
+
+        stats = run(go())
+        assert stats["requests"] == 4
+        assert stats["batches"] == 1
+        assert stats["batched_rows"] == 4
+        assert stats["mean_rows_per_batch"] == 4.0
+        assert stats["engine_cache"]["builds"] == 1
+
+    def test_register_twice_rejected(self):
+        async def go():
+            async with make_server() as server:
+                server.register("pw", Pointwise().eval())
+                with pytest.raises(ValueError):
+                    server.register("pw", Pointwise().eval())
+                assert server.registered() == ["pw"]
+
+        run(go())
+
+    def test_closed_server_rejects_requests(self):
+        async def go():
+            server = make_server()
+            server.register("pw", Pointwise().eval())
+            await server.close()
+            with pytest.raises(RuntimeError):
+                await server.infer("pw", repro.randn(1, 8))
+
+        run(go())
