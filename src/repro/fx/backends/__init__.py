@@ -31,7 +31,8 @@ from .base import (
     register_lazy_backend,
     registered_backends,
 )
-from .partitioner import CapabilityPartitioner, PartitionPlan, effect_mask
+from .partitioner import (CapabilityPartitioner, PartitionPlan, effect_mask,
+                          validate_forward_cut)
 from .lowering import (
     BackendReport,
     clear_subgraph_cache,
@@ -51,6 +52,7 @@ __all__ = [
     "UnsupportedNodesError",
     "clear_subgraph_cache",
     "effect_mask",
+    "validate_forward_cut",
     "get_backend",
     "override_support",
     "register_backend",

@@ -25,10 +25,10 @@ import pickle
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Sequence, Union
 
 from ...nn import Module
-from ..concurrency import KeyedMutex
+from ..concurrency import KeyedMutex, on_fork_reset
 from ..graph import UnstableHashError
 from ..graph_module import GraphModule
 from ..passes import PassManager, PassRecord
@@ -110,6 +110,12 @@ _CACHE_LOCK = threading.Lock()
 _COMPILE_MUTEX = KeyedMutex()
 
 
+@on_fork_reset
+def _reset_lock_after_fork() -> None:
+    global _CACHE_LOCK
+    _CACHE_LOCK = threading.Lock()
+
+
 def subgraph_cache_info() -> dict[str, int]:
     """Hit/miss/size counters for the shared per-partition compile memo."""
     with _CACHE_LOCK:
@@ -182,6 +188,9 @@ def to_backend(
     cache: bool = True,
     verify: bool = True,
     executor: Optional[str] = None,
+    shards: int = 1,
+    example_inputs: Optional[Sequence] = None,
+    shard_config=None,
 ) -> Module:
     """Lower *model* onto *backend*, falling back to eager where needed.
 
@@ -214,6 +223,15 @@ def to_backend(
             nodes replay as flat instructions instead of dispatching
             through generated source).  ``None`` (default) defers to the
             backend's ``executor`` attribute.
+        shards: when > 1, compile into a sharded pipeline instead: the
+            cost model balances an N-stage cut, each stage lowers through
+            this same per-partition path, and the result is a
+            :class:`~repro.fx.sharding.ShardedModule` running the stages
+            in a persistent worker-process pool (requires
+            ``example_inputs`` for shape propagation).
+        example_inputs: example inputs for the shard planner's shape
+            propagation; only consulted when ``shards > 1``.
+        shard_config: optional :class:`~repro.fx.sharding.ShardConfig`.
 
     Returns:
         When the whole graph is supported, whatever
@@ -222,6 +240,17 @@ def to_backend(
         are the compiled partitions.  Either way the result carries a
         :class:`BackendReport` on ``.backend_report``.
     """
+    if shards > 1:
+        from ..sharding import shard
+
+        if example_inputs is None:
+            raise ValueError(
+                "to_backend(shards=N) needs example_inputs= so the shard "
+                "planner can shape-propagate and cost the graph")
+        return shard(model, backend, shards=shards,
+                     example_inputs=example_inputs, executor=executor,
+                     config=shard_config, verify=verify, lint=lint)
+
     start = time.perf_counter()
     be = get_backend(backend) if isinstance(backend, str) else backend
     if not isinstance(be, Backend):

@@ -36,7 +36,8 @@ from ..analysis import analyze, may_alias_input
 from ..graph_module import GraphModule
 from ..node import Node
 
-__all__ = ["CapabilityPartitioner", "PartitionPlan", "effect_mask"]
+__all__ = ["CapabilityPartitioner", "PartitionPlan", "effect_mask",
+           "validate_forward_cut"]
 
 _SKIP_OPS = ("placeholder", "output")
 
@@ -282,6 +283,37 @@ class CapabilityPartitioner:
             else:
                 plan.unassigned.append(n)
         return plan
+
+
+def validate_forward_cut(gm: GraphModule,
+                         stage_of: Callable[[Node], Optional[int]]) -> None:
+    """Check that *stage_of* induces a forward-only pipeline cut.
+
+    A sharded pipeline moves data through a one-directional queue chain,
+    so every cross-stage def-use edge must point from a lower stage to a
+    higher one — the same acyclicity requirement the
+    :class:`CapabilityPartitioner` enforces by construction, stated for an
+    externally supplied assignment (e.g. the cost-model-driven cut of
+    :mod:`repro.fx.sharding`).  Raises ``ValueError`` naming the first
+    backward edge; a backward edge means the cut would need a value to
+    travel *up* the pipeline, which no execution order of the stage chain
+    can provide.
+    """
+    for node in gm.graph.nodes:
+        if node.op in _SKIP_OPS:
+            continue
+        dst = stage_of(node)
+        if dst is None:
+            continue
+        for inp in node.all_input_nodes:
+            if inp.op in _SKIP_OPS:
+                continue
+            src = stage_of(inp)
+            if src is not None and src > dst:
+                raise ValueError(
+                    f"backward cross-stage edge {inp.name!r} (stage {src}) "
+                    f"-> {node.name!r} (stage {dst}): pipeline stages must "
+                    f"consume only earlier stages' values")
 
 
 def group_leftovers(gm: GraphModule, plan: PartitionPlan) -> Dict[Node, int]:

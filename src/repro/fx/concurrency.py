@@ -24,11 +24,62 @@ contend on anything but the (cheap) registry lock.
 
 from __future__ import annotations
 
+import os
 import threading
+import weakref
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List
+from typing import Any, Callable, Dict, Iterator, List
 
-__all__ = ["KeyedMutex"]
+__all__ = ["KeyedMutex", "on_fork_reset"]
+
+
+# -- fork safety ----------------------------------------------------------------
+#
+# The sharded execution tier (``repro.fx.sharding``) forks worker processes
+# from a parent that may be running a thread pool (the serving runtime, a
+# concurrent lowering).  A fork taken while *another* thread holds one of the
+# compile-stack locks copies that lock in its locked state into the child,
+# where no thread exists to ever release it — the first child-side
+# ``recompile()`` then deadlocks.  Modules owning process-wide locks register
+# a reset callback here; the callbacks run in the child immediately after
+# fork (``os.register_at_fork``) and replace the inherited locks with fresh
+# ones.  This is sound because the child starts with exactly one thread, so
+# no child-side critical section can be live at reset time.
+
+_FORK_RESETS: List[Callable[[], None]] = []
+
+
+def on_fork_reset(callback: Callable[[], None]) -> Callable[[], None]:
+    """Register *callback* to run in a child process right after ``fork``.
+
+    Use it to re-initialize module-level locks/mutexes so a child forked
+    from a multi-threaded parent can never inherit a lock in a locked
+    state.  Returns the callback (usable as a decorator).
+    """
+    _FORK_RESETS.append(callback)
+    return callback
+
+
+def _run_fork_resets() -> None:
+    for callback in list(_FORK_RESETS):
+        try:
+            callback()
+        except Exception:
+            pass  # a broken reset must not kill the child at fork time
+
+
+if hasattr(os, "register_at_fork"):  # not on Windows (no fork there anyway)
+    os.register_at_fork(after_in_child=_run_fork_resets)
+
+
+#: Every live KeyedMutex, so fork resets can rebuild their registries.
+_MUTEXES: "weakref.WeakSet[KeyedMutex]" = weakref.WeakSet()
+
+
+@on_fork_reset
+def _reset_mutexes() -> None:
+    for mutex in list(_MUTEXES):
+        mutex._reset_after_fork()
 
 
 class KeyedMutex:
@@ -61,6 +112,13 @@ class KeyedMutex:
         self._registry_lock = threading.Lock()
         #: key -> [lock, refcount]
         self._entries: Dict[Any, List[Any]] = {}
+        _MUTEXES.add(self)
+
+    def _reset_after_fork(self) -> None:
+        # Runs in a freshly forked child (single-threaded by definition):
+        # drop per-key locks that may have been copied mid-acquisition.
+        self._registry_lock = threading.Lock()
+        self._entries = {}
 
     @contextmanager
     def acquire(self, key: Any) -> Iterator[None]:

@@ -21,6 +21,7 @@ from typing import Any, Callable, Optional
 
 from ..nn import Module, Parameter
 from ..tensor import Tensor
+from .concurrency import on_fork_reset
 from .graph import Graph, PythonCode
 
 __all__ = ["GraphModule", "codegen_cache_info", "clear_codegen_cache"]
@@ -112,6 +113,14 @@ class _CodegenCache:
 
 _CODEGEN_CACHE = _CodegenCache(
     maxsize=int(os.environ.get("REPRO_FX_CODEGEN_CACHE_SIZE", "256")))
+
+
+@on_fork_reset
+def _reset_codegen_lock_after_fork() -> None:
+    # A child forked while another parent thread held the cache lock would
+    # deadlock on its first recompile(); the entries themselves are fine
+    # (codegen is deterministic), only the lock state is poison.
+    _CODEGEN_CACHE._lock = threading.Lock()
 
 
 def codegen_cache_info() -> dict[str, int]:

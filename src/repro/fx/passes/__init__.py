@@ -58,7 +58,8 @@ from .pointwise_fuser import (
     pointwise_registry,
     register_pointwise_op,
 )
-from .scheduler import Schedule, ScheduledOp, pipeline_schedule
+from .scheduler import Schedule, ScheduledOp, pipeline_schedule, \
+    simulate_stage_pipeline
 from .shape_prop import ShapeProp, TensorMetadata
 from .split_module import Partition, split_module
 from .splitter import SplitResult, split_by_support
@@ -131,6 +132,7 @@ __all__ = [
     "graph_to_dot",
     "pipeline_schedule",
     "scheduler",
+    "simulate_stage_pipeline",
     "shape_prop",
     "split_by_support",
     "split_module",

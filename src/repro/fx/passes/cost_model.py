@@ -103,6 +103,64 @@ class DeviceModel:
         """Predicted end-to-end latency in seconds (serial execution)."""
         return sum(self.node_time(r) for r in report.rows)
 
+    @classmethod
+    def calibrate(cls, samples, *, name: str = "calibrated") -> "DeviceModel":
+        """Fit roofline constants from timed microbenchmarks.
+
+        Args:
+            samples: iterable of ``(CostReport, measured_seconds)`` pairs —
+                a handful of programs whose wall time was measured on the
+                device being modelled.
+            name: label for the fitted model.
+
+        Fits ``time ≈ flops/F + bytes/B + n_ops·c`` by non-negative least
+        squares (the additive roofline — a smooth upper bound of the
+        ``max(compute, memory)`` form that a linear fit can recover) and
+        returns a :class:`DeviceModel` with the recovered ``F`` (flops/s),
+        ``B`` (bytes/s) and per-op dispatch overhead ``c``.  Coefficients
+        that come back non-positive (a workload family that never
+        exercises that axis) fall back to "effectively infinite"
+        throughput / zero overhead, so predictions stay finite and the
+        fitted axes still rank programs correctly.
+        """
+        rows = []
+        times = []
+        for report, seconds in samples:
+            rows.append((float(report.total_flops), float(report.total_bytes),
+                         float(len(report.rows))))
+            times.append(float(seconds))
+        if len(rows) < 2:
+            raise ValueError("calibrate needs at least two timed samples")
+        a = np.asarray(rows, dtype=np.float64)
+        t = np.asarray(times, dtype=np.float64)
+        # Column scaling keeps the normal equations well-conditioned
+        # (flops ~1e9, n_ops ~1e1 otherwise differ by 8 orders).
+        scale = a.max(axis=0)
+        scale[scale == 0.0] = 1.0
+        coef, *_ = np.linalg.lstsq(a / scale, t, rcond=None)
+        coef = coef / scale
+        # Project onto the feasible region: re-fit with negative axes
+        # removed so the surviving coefficients absorb their share.
+        for _ in range(2):
+            bad = coef <= 0.0
+            if not bad.any():
+                break
+            keep = ~bad
+            if not keep.any():
+                coef = np.zeros(3)
+                break
+            sub = a[:, keep] / scale[keep]
+            sub_coef, *_ = np.linalg.lstsq(sub, t, rcond=None)
+            coef = np.zeros(3)
+            coef[keep] = sub_coef / scale[keep]
+        inv_f, inv_b, overhead = (float(c) for c in coef)
+        return cls(
+            name=name,
+            flops_per_second=1.0 / inv_f if inv_f > 0 else 1e18,
+            bytes_per_second=1.0 / inv_b if inv_b > 0 else 1e18,
+            overhead_per_op=max(overhead, 0.0),
+        )
+
 
 # Representative device points (orders of magnitude matter, not exact specs).
 CPU_MODEL = DeviceModel("server-cpu", flops_per_second=2e11, bytes_per_second=8e10,
@@ -184,12 +242,42 @@ _ELEMENTWISE_FNS = {
 _EXPENSIVE_ELEMENTWISE = {F.gelu, F.silu, F.softmax, F.log_softmax, F.erf, F.selu,
                           F.elu, F.mish, F.exp, F.log, F.sqrt}
 
+#: FusedKernel step keys costed like their unfused counterparts in
+#: ``_EXPENSIVE_ELEMENTWISE`` (transcendental: ~8 flops/element); every
+#: other pointwise step is 1 flop/element, matching ``_ELEMENTWISE_FNS``.
+_EXPENSIVE_STEP_KEYS = frozenset({
+    "exp", "log", "sqrt", "pow", "gelu", "silu", "softmax", "log_softmax",
+    "erf", "selu", "elu", "mish",
+})
+
+
+def _fused_kernel_flops(kernel: Any, out_numel: int) -> int:
+    """Cost of one multi-step fused region: the sum of its steps' op costs.
+
+    A ``FusedKernel`` ``call_function`` used to fall through to the
+    structural default (zero flops), so a post-``fx.compile`` graph — the
+    form sharding actually cuts — undercosted every fused chain by its
+    whole length and the balanced-cut search piled fused stages together.
+    Each step runs over buffers of the region's (broadcast) output shape,
+    so it costs what its unfused op would: ``weight · out_numel``.
+    """
+    total = 0
+    for step in kernel.spec.steps:
+        weight = 8 if step.key in _EXPENSIVE_STEP_KEYS else 1
+        total += weight * out_numel
+    return total
+
 
 def _function_cost(node: Node, cost: NodeCost) -> None:
     out = _meta(node.meta.get("tensor_meta"))
     if out is None:
         return
     target = node.target
+    from .pointwise_fuser import FusedKernel
+
+    if isinstance(target, FusedKernel):
+        cost.flops = _fused_kernel_flops(target, out.numel)
+        return
     if target in (F.matmul, F.mm, F.bmm, operator.matmul):
         a = _meta(node.all_input_nodes[0].meta.get("tensor_meta"))
         if a is not None:

@@ -1,0 +1,30 @@
+"""Cost-model-driven sharded pipeline execution (§6.2.3 across processes).
+
+``to_backend(model, backend, shards=N, example_inputs=...)`` — or
+:func:`shard` directly — turns one model into an ``N``-stage pipeline:
+the cost model prices a shape-propagated graph, a dynamic program finds
+the balanced contiguous cut, each stage lowers through the ordinary
+per-partition compile path, and the stages run in persistent worker
+processes chained by double-buffered queues so multiple in-flight
+requests overlap.  :meth:`ShardedModule.report` compares the plan's
+predicted per-stage times and bubble fraction against measurement.
+"""
+
+from .build import shard
+from .planner import (ShardConfig, ShardPlan, ShardingError, StagePlan,
+                      plan_shards)
+from .runtime import (ShardedModule, ShardReport, ShardWorkerError,
+                      shutdown_all_pools)
+
+__all__ = [
+    "shard",
+    "plan_shards",
+    "ShardConfig",
+    "ShardPlan",
+    "StagePlan",
+    "ShardingError",
+    "ShardedModule",
+    "ShardReport",
+    "ShardWorkerError",
+    "shutdown_all_pools",
+]

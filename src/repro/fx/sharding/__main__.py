@@ -1,0 +1,7 @@
+"""``python -m repro.fx.sharding`` — run the sharded-execution smoke."""
+
+import sys
+
+from .smoke import main
+
+sys.exit(main())

@@ -1,0 +1,293 @@
+"""Cost-model-driven pipeline cuts (§6.2.3, taken cross-process).
+
+Given a shape-propagated graph and a request for ``N`` shards, find the
+contiguous topological cut that minimizes the *bottleneck* stage time
+under a :class:`~repro.fx.passes.cost_model.DeviceModel` — the quantity
+that bounds pipeline throughput — charging each boundary for the bytes
+that must cross it (queue serialization is the "transfer" of this
+topology).  Contiguity in topological order is what makes the cut a legal
+pipeline: every cross-stage def-use edge then points forward, which
+:func:`~repro.fx.backends.validate_forward_cut` re-checks on the final
+assignment.
+
+The planner is pure analysis — it never executes the model — so the same
+``ShardPlan`` drives both the real process pool (:mod:`.runtime`) and the
+predicted-throughput numbers a :class:`ShardReport` later compares against
+measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..graph_module import GraphModule
+from ..node import Node
+from ..passes.cost_model import CPU_MODEL, DeviceModel, NodeCost, estimate
+from ..passes.scheduler import Schedule, simulate_stage_pipeline
+
+__all__ = ["ShardingError", "ShardConfig", "StagePlan", "ShardPlan",
+           "plan_shards"]
+
+_SKIP_OPS = ("placeholder", "output", "get_attr")
+
+
+class ShardingError(RuntimeError):
+    """The model cannot be sharded as requested (effectful graph, no
+    compute to split, unpicklable stage, ...)."""
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Knobs for planning and running a sharded pipeline.
+
+    Attributes:
+        device: cost model used to time nodes when balancing the cut.
+        transfer_bytes_per_second: modeled bandwidth of a cross-stage
+            handoff (pickle + queue, roughly memory-bus class).
+        transfer_latency: fixed per-handoff cost (queue wake + unpickle
+            dispatch).
+        queue_depth: capacity of each inter-stage queue; 2 gives double
+            buffering — a stage can finish request *i* while request
+            *i+1* already waits at its door.
+        sim_requests: stream length used when predicting steady-state
+            pipeline throughput for the plan.
+    """
+
+    device: DeviceModel = CPU_MODEL
+    transfer_bytes_per_second: float = 2e9
+    transfer_latency: float = 100e-6
+    queue_depth: int = 2
+    sim_requests: int = 32
+
+
+@dataclass
+class StagePlan:
+    """One contiguous slice of the graph, destined for one worker."""
+
+    index: int
+    node_names: List[str] = field(default_factory=list)
+    predicted_compute: float = 0.0
+    predicted_transfer_in: float = 0.0
+
+    @property
+    def predicted_time(self) -> float:
+        return self.predicted_compute + self.predicted_transfer_in
+
+
+@dataclass
+class ShardPlan:
+    """A balanced N-way pipeline cut plus its predicted economics.
+
+    Attributes:
+        stages: per-stage slices in pipeline order.
+        assignment: node name -> stage index (compute and ``get_attr``
+            nodes; placeholders/outputs stay top-level).
+        device: name of the cost model the cut was balanced under.
+        predicted_serial: modeled single-process latency per request.
+        predicted_makespan: modeled time for ``sim_requests`` requests to
+            drain through the pipeline.
+        predicted_speedup: modeled throughput gain over serial execution
+            for that stream.
+        predicted_bubble_fraction: modeled idle share across stages.
+        sim_requests: stream length behind the three numbers above.
+    """
+
+    stages: List[StagePlan]
+    assignment: Dict[str, int]
+    device: str
+    predicted_serial: float
+    predicted_makespan: float
+    predicted_speedup: float
+    predicted_bubble_fraction: float
+    sim_requests: int
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    def stage_times(self) -> List[float]:
+        return [s.predicted_compute for s in self.stages]
+
+    def transfer_times(self) -> List[float]:
+        return [s.predicted_transfer_in for s in self.stages[1:]]
+
+    def format(self) -> str:
+        lines = [f"ShardPlan: {self.n_stages} stage(s) on {self.device}"]
+        for s in self.stages:
+            lines.append(
+                f"  stage {s.index}: {len(s.node_names)} node(s), "
+                f"compute {s.predicted_compute * 1e3:.3f} ms"
+                + (f", transfer-in {s.predicted_transfer_in * 1e3:.3f} ms"
+                   if s.index else ""))
+        lines.append(
+            f"  predicted ({self.sim_requests} requests): "
+            f"speedup {self.predicted_speedup:.2f}x, "
+            f"bubble {self.predicted_bubble_fraction * 100:.1f}%")
+        return "\n".join(lines)
+
+
+def _value_nbytes(node: Node) -> int:
+    """Storage the value of *node* drags across a stage boundary."""
+    total = 0
+    seen = [node.meta.get("tensor_meta")]
+    while seen:
+        tm = seen.pop()
+        if tm is None:
+            continue
+        if isinstance(tm, (list, tuple)):
+            seen.extend(tm)
+        elif isinstance(tm, dict):
+            seen.extend(tm.values())
+        else:
+            total += int(getattr(tm, "nbytes", 0) or 0)
+    return total
+
+
+def plan_shards(
+    gm: GraphModule,
+    example_inputs: Sequence,
+    n_shards: int,
+    config: Optional[ShardConfig] = None,
+) -> ShardPlan:
+    """Cost and cut *gm* into (up to) *n_shards* balanced pipeline stages.
+
+    Runs :func:`~repro.fx.passes.cost_model.estimate` on the example
+    inputs, then a dynamic program over contiguous cuts of the topological
+    node order minimizing the maximum stage time (compute plus modeled
+    transfer-in of every value live across the stage's entry boundary).
+
+    Raises:
+        ShardingError: if the graph has effectful nodes (mutation cannot
+            be replayed across a forward-only queue chain), has no compute
+            to split, or ``n_shards < 1``.
+    """
+    config = config or ShardConfig()
+    if n_shards < 1:
+        raise ShardingError(f"shards must be >= 1, got {n_shards}")
+
+    from ..backends.partitioner import effect_mask
+
+    masked = effect_mask(gm)
+    if masked:
+        names = ", ".join(sorted(n.name for n in masked)[:4])
+        raise ShardingError(
+            f"graph has effectful/aliased nodes ({names}) — mutation "
+            f"cannot cross a one-way pipeline boundary")
+
+    report = estimate(gm, *example_inputs)
+    costs: Dict[str, NodeCost] = report.by_node()
+
+    nodes = list(gm.graph.nodes)
+    compute = [n for n in nodes if n.op not in _SKIP_OPS]
+    if not compute:
+        raise ShardingError("graph has no compute nodes to shard")
+    n = len(compute)
+    k = min(n_shards, n)
+
+    device = config.device
+    times = [device.node_time(costs[c.name]) for c in compute]
+
+    # Liveness across each candidate boundary b (between compute index b
+    # and b+1): a value crosses if produced at index <= b (placeholders
+    # produce "before the pipeline", index -1, and cost nothing to re-send
+    # conceptually — but they do ride the queues, so they count) and last
+    # read after b.  Output-consumed values stay live to the end.
+    pos = {c: i for i, c in enumerate(compute)}
+    boundary_bytes = [0] * max(n - 1, 1)
+    for node in nodes:
+        if node.op == "output" or node.op == "get_attr":
+            continue  # get_attr is stage-local state, never queued
+        produced = pos.get(node, -1)
+        last = produced
+        for user in node.users:
+            if user.op == "output":
+                last = n
+            elif user in pos:
+                last = max(last, pos[user])
+        nbytes = _value_nbytes(node) or costs.get(
+            node.name, NodeCost(node.name, node.op, "")).bytes_written
+        for b in range(max(produced, 0), min(last, n - 1)):
+            boundary_bytes[b] += nbytes
+
+    def transfer_in(a: int) -> float:
+        if a == 0:
+            return 0.0
+        return (config.transfer_latency
+                + boundary_bytes[a - 1] / config.transfer_bytes_per_second)
+
+    prefix = [0.0]
+    for t in times:
+        prefix.append(prefix[-1] + t)
+
+    def stage_cost(a: int, b: int) -> float:
+        """Cost of a stage holding compute[a..b] inclusive."""
+        return transfer_in(a) + prefix[b + 1] - prefix[a]
+
+    # DP: best[s][i] = minimal bottleneck using s stages for compute[0..i-1].
+    INF = float("inf")
+    best = [[INF] * (n + 1) for _ in range(k + 1)]
+    cut = [[-1] * (n + 1) for _ in range(k + 1)]
+    best[0][0] = 0.0
+    for s in range(1, k + 1):
+        for i in range(s, n + 1):
+            for j in range(s - 1, i):
+                if best[s - 1][j] == INF:
+                    continue
+                cand = max(best[s - 1][j], stage_cost(j, i - 1))
+                if cand < best[s][i]:
+                    best[s][i] = cand
+                    cut[s][i] = j
+    # Honor the requested stage count (clamped to the compute node count):
+    # the caller asked for N-way pipelining, so the DP's job is the best
+    # N-stage cut, not second-guessing whether N was worth it — the plan's
+    # predicted speedup/bubble numbers are how that verdict is reported.
+    k_used = k
+
+    bounds = [n]
+    i = n
+    for s in range(k_used, 0, -1):
+        i = cut[s][i]
+        bounds.append(i)
+    bounds.reverse()  # [0, b1, ..., n]
+
+    assignment: Dict[str, int] = {}
+    stages: List[StagePlan] = []
+    for s in range(k_used):
+        a, b = bounds[s], bounds[s + 1]
+        plan = StagePlan(
+            index=s,
+            node_names=[c.name for c in compute[a:b]],
+            predicted_compute=prefix[b] - prefix[a],
+            predicted_transfer_in=transfer_in(a),
+        )
+        stages.append(plan)
+        for c in compute[a:b]:
+            assignment[c.name] = s
+
+    # get_attr nodes are free state reads: co-locate each with its
+    # earliest consuming stage (or the last stage if only the output
+    # reads it) so the state never rides a queue.
+    for node in nodes:
+        if node.op != "get_attr":
+            continue
+        consumer_stages = [assignment[u.name] for u in node.users
+                           if u.name in assignment]
+        assignment[node.name] = (min(consumer_stages) if consumer_stages
+                                 else k_used - 1)
+
+    sched: Schedule = simulate_stage_pipeline(
+        [s.predicted_compute for s in stages],
+        config.sim_requests,
+        transfer_times=[s.predicted_transfer_in for s in stages[1:]],
+    )
+    return ShardPlan(
+        stages=stages,
+        assignment=assignment,
+        device=device.name,
+        predicted_serial=sched.serial_time / max(config.sim_requests, 1),
+        predicted_makespan=sched.makespan,
+        predicted_speedup=sched.speedup,
+        predicted_bubble_fraction=sched.bubble_fraction,
+        sim_requests=config.sim_requests,
+    )

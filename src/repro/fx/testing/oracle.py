@@ -34,7 +34,12 @@ executes:
    dependency-aware capability partitioner must never emit a partition
    dependency cycle, the stitched split module must lint, and its output
    must match the reference exactly — a property test over every fuzzed
-   graph (check name ``backend_split``).
+   graph (check name ``backend_split``); and
+9. the **sharded pipeline** (``to_backend(..., shards=2)``): the program
+   split into a 2-stage worker-process pipeline must be *bit-exact*
+   against the reference — pickled stages, queue transport, and env
+   wiring must not perturb a single ulp (check ``sharded``; effectful
+   programs sharding refuses pass vacuously).
 
 Additionally, every fresh trace is run through the static analyzer
 (:func:`repro.fx.analysis.lint_graph`): an error-severity diagnostic on a
@@ -362,6 +367,10 @@ def run_oracle(program: GeneratedProgram, localize: bool = True,
     if want("backend_split"):
         _check_backend_split(report, program, gm, inputs, ref, scale)
 
+    # -- sharded pipeline execution across worker processes ----------------
+    if want("sharded"):
+        _check_sharded(report, gm, inputs, ref, scale)
+
     # -- quantization round-trip -------------------------------------------
     if want("quant_prepare") or want("quant_convert"):
         _check_quantization(report, gm, inputs, ref, scale, localize)
@@ -516,6 +525,49 @@ def _check_backend_split(report: OracleReport, program: GeneratedProgram,
         report.outcomes.append(CheckOutcome(
             "backend_split", False,
             f"numeric divergence {err:.3g} > tol {tol:.3g}", max_err=err))
+
+
+def _check_sharded(report: OracleReport, gm: GraphModule, inputs: tuple,
+                   ref: Any, scale: float) -> None:
+    """A 2-stage process pipeline must be **bit-exact** against the
+    in-process reference for every program the generator emits.
+
+    Lowers a copy through ``to_backend(..., shards=2)`` (eager backend:
+    the stages replay the same numerics as the reference, so any
+    difference is a wiring/transport bug — a value mis-threaded across
+    the queue boundary, an arg template resolved against the wrong env
+    key, or pickling perturbing state).  Programs sharding legitimately
+    refuses (effectful graphs — mutation cannot cross a one-way queue)
+    pass vacuously.  The worker pool is always reaped.
+    """
+    from ..backends import EagerBackend, to_backend
+    from ..sharding import ShardingError
+
+    sharded = None
+    try:
+        try:
+            sharded = to_backend(_copy_gm(gm), EagerBackend(), shards=2,
+                                 example_inputs=inputs)
+        except ShardingError as exc:
+            report.outcomes.append(CheckOutcome(
+                "sharded", True, f"not shardable (ok): {exc}"))
+            return
+        out = sharded(*inputs)
+    except Exception as exc:
+        report.outcomes.append(CheckOutcome(
+            "sharded", False, _exc_summary(exc)))
+        return
+    finally:
+        if sharded is not None:
+            sharded.close()
+    err = max_abs_diff(ref, out)
+    if err == 0.0:
+        report.outcomes.append(CheckOutcome("sharded", True, max_err=err))
+    else:
+        report.outcomes.append(CheckOutcome(
+            "sharded", False,
+            f"cross-process divergence {err:.3g} (must be bit-exact)",
+            max_err=err))
 
 
 def _check_quantization(report: OracleReport, gm: GraphModule, inputs: tuple,

@@ -40,7 +40,7 @@ from typing import Any, Dict, Optional
 
 from ..analysis.engine import AnalysisContext
 from ..analysis.mutation import fused_out_clobbers
-from ..concurrency import KeyedMutex
+from ..concurrency import KeyedMutex, on_fork_reset
 from ..graph import UnstableHashError
 from ..graph_module import GraphModule
 from ..node import Node, map_arg
@@ -74,6 +74,12 @@ _VM_CACHE: Dict[Any, VMProgram] = {}
 _CACHE_STATS = {"hits": 0, "misses": 0}
 _CACHE_LOCK = threading.Lock()
 _COMPILE_MUTEX = KeyedMutex()
+
+
+@on_fork_reset
+def _reset_lock_after_fork() -> None:
+    global _CACHE_LOCK
+    _CACHE_LOCK = threading.Lock()
 
 
 def vm_cache_info() -> dict[str, int]:

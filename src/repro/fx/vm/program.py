@@ -292,7 +292,7 @@ class VMProgram:
     """
 
     def __init__(self, instructions, n_regs: int, inputs, output, consts,
-                 arena_specs=(), name: str = "VMProgram"):
+                 arena_specs=(), name: str = "VMProgram", meta=None):
         self.instructions = tuple(instructions)
         self.n_regs = int(n_regs)
         self.inputs = tuple(tuple(spec) for spec in inputs)
@@ -300,6 +300,10 @@ class VMProgram:
         self.consts = dict(consts)
         self.arena_specs = tuple(tuple(s) for s in arena_specs)
         self.name = name
+        #: Free-form picklable annotations that survive cross-process
+        #: replay (e.g. ``repro.fx.sharding`` stamps the stage index and
+        #: env wiring here so a worker-side failure can name its stage).
+        self.meta = dict(meta) if meta else {}
         self._bind()
 
     def _bind(self) -> None:
@@ -441,8 +445,10 @@ class VMProgram:
             "consts": self.consts,
             "arena_specs": self.arena_specs,
             "name": self.name,
+            "meta": self.meta,
         }
 
     def __setstate__(self, state):
         self.__dict__.update(state)
+        self.meta = dict(state.get("meta") or {})
         self._bind()

@@ -53,7 +53,9 @@ __all__ = ["ENGINE_FORMAT_VERSION", "EngineKey", "EngineCache"]
 
 #: Bump when the on-disk wrapper layout or artifact semantics change;
 #: files with any other version are treated as stale and rebuilt.
-ENGINE_FORMAT_VERSION = 1
+#: v2: EngineKey grew ``shards`` — pre-shard pickled keys must go stale
+#: *before* key comparison (an old key object lacks the attribute).
+ENGINE_FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -67,22 +69,26 @@ class EngineKey:
         executor: execution tier (``"vm"`` / ``"codegen"``).
         signature: ``((shape, dtype_name), ...)`` of the (batched)
             example inputs compilation specialized against.
+        shards: pipeline width the engine was compiled for (1 =
+            single-process; >1 = a cold
+            :class:`~repro.fx.sharding.ShardedModule` artifact).
     """
 
     graph_hash: str
     backend: str
     executor: str
     signature: tuple
+    shards: int = 1
 
     def token(self) -> str:
         """Filesystem-safe digest naming this key's on-disk artifact."""
         raw = repr((self.graph_hash, self.backend, self.executor,
-                    self.signature))
+                    self.signature, self.shards))
         return hashlib.sha256(raw.encode("utf-8")).hexdigest()
 
     @staticmethod
     def for_graph(gm: GraphModule, backend: str, executor: str,
-                  signature: tuple) -> "EngineKey":
+                  signature: tuple, shards: int = 1) -> "EngineKey":
         """Build a key for *gm*; raises
         :class:`~repro.fx.graph.UnstableHashError` when the graph has no
         stable hash (such graphs must not be cached on disk)."""
@@ -93,6 +99,7 @@ class EngineKey:
             backend=backend,
             executor=executor,
             signature=tuple(signature),
+            shards=shards,
         )
 
 

@@ -73,6 +73,11 @@ class ServeConfig:
             only).
         record_batches: keep a bounded log of executed batches (used by
             tests and the benchmark to audit coalescing).
+        shards: when > 1, engines compile as
+            :class:`~repro.fx.sharding.ShardedModule` pipelines — each
+            engine owns a persistent worker-process pool (closed with the
+            server).  Models sharding rejects (e.g. effectful graphs)
+            fall back to unsharded engines under the same key.
     """
 
     backend: str = "numpy"
@@ -83,6 +88,7 @@ class ServeConfig:
     workers: int = 4
     cache_dir: Optional[str] = None
     record_batches: bool = True
+    shards: int = 1
 
 
 @dataclass(frozen=True)
@@ -138,6 +144,9 @@ class InferenceServer:
         self._stats_lock = threading.Lock()
         self._requests = 0
         self._batch_log: deque = deque(maxlen=4096)
+        #: sharded engines this server built/loaded — their worker pools
+        #: are the server's responsibility to reap on close().
+        self._sharded_engines: set = set()
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -169,6 +178,10 @@ class InferenceServer:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        with self._stats_lock:
+            sharded, self._sharded_engines = self._sharded_engines, set()
+        for engine in sharded:
+            engine.close()
 
     # -- registration ------------------------------------------------------------
 
@@ -219,6 +232,17 @@ class InferenceServer:
                       example_inputs: tuple) -> Any:
         """Compile *handle*'s graph specialized to *example_inputs*."""
         cfg = self.config
+        if cfg.shards > 1:
+            from ..fx.sharding import ShardingError
+
+            backend = "eager" if cfg.backend == "numpy" else cfg.backend
+            try:
+                return fx.to_backend(handle.gm, backend,
+                                     shards=cfg.shards,
+                                     example_inputs=example_inputs,
+                                     executor=cfg.executor)
+            except ShardingError:
+                pass  # unshardable model: serve it unsharded
         if cfg.backend == "numpy":
             mod = fx.compile(handle.gm, example_inputs,
                              executor=cfg.executor)
@@ -244,13 +268,24 @@ class InferenceServer:
                 with handle.local_lock:
                     engine = handle.local_engines.setdefault(signature,
                                                              engine)
+            self._track_engine(engine)
             return engine
         key = EngineKey(graph_hash=handle.graph_hash,
                         backend=self.config.backend,
                         executor=self.config.executor,
-                        signature=signature)
-        return self.engine_cache.get_or_build(
+                        signature=signature,
+                        shards=self.config.shards)
+        engine = self.engine_cache.get_or_build(
             key, lambda: self._build_engine(handle, inputs))
+        self._track_engine(engine)
+        return engine
+
+    def _track_engine(self, engine: Any) -> None:
+        from ..fx.sharding import ShardedModule
+
+        if isinstance(engine, ShardedModule):
+            with self._stats_lock:
+                self._sharded_engines.add(engine)
 
     # -- execution (worker threads) ----------------------------------------------
 

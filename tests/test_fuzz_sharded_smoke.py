@@ -1,0 +1,27 @@
+"""Tier-1 bounded fuzz smoke run for sharded pipeline execution.
+
+60 iterations with a fixed seed, restricted to the ``sharded`` oracle
+check: every generated program goes through ``to_backend(..., shards=2)``
+and its 2-stage worker-process pipeline must agree **bit-exactly** with
+the single-process reference — pickled stages, queue transport, and env
+wiring must not perturb a single ulp.  Programs sharding legitimately
+refuses (effectful graphs) pass vacuously, and every worker pool must be
+reaped: a leaked child process fails the run.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.fx.testing import fuzz as run_fuzz
+
+
+@pytest.mark.fuzz
+def test_fuzz_sharded_smoke_60_iterations():
+    result = run_fuzz(seed=0, iters=60, minimize_failures=False,
+                      only=frozenset({"sharded"}))
+    assert result.iterations == 60
+    details = "\n\n".join(f.summary for f in result.failures)
+    assert result.ok, f"{len(result.failures)} fuzz failures:\n{details}"
+    assert not multiprocessing.active_children(), \
+        "sharded oracle check leaked worker processes"

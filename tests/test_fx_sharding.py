@@ -1,0 +1,339 @@
+"""Tests for ``repro.fx.sharding`` — the cost-model-driven process pipeline.
+
+The contract under test: ``to_backend(model, backend, shards=N)`` returns
+a module that is **bit-exact** against single-process execution, runs its
+stages in worker processes, survives pickling as a cold artifact, fails
+*cleanly* (never hangs) when a worker dies, and leaves zero child
+processes behind after ``close()``.
+"""
+
+import multiprocessing
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+import repro
+import repro.functional as F
+from repro import fx, nn
+from repro.fx import symbolic_trace
+from repro.fx.backends import validate_forward_cut
+from repro.fx.sharding import (ShardConfig, ShardedModule, ShardingError,
+                               ShardWorkerError, plan_shards, shard)
+from repro.fx.sharding.planner import ShardPlan, StagePlan
+from repro.fx.sharding.runtime import _Ref, _StageSpec
+
+
+class PipelineModel(nn.Module):
+    """Three stacked linears with a skip connection crossing the middle —
+    the skip value must ride the queues past the stage that defines it."""
+
+    def __init__(self):
+        super().__init__()
+        self.l1 = nn.Linear(16, 32)
+        self.l2 = nn.Linear(32, 32)
+        self.l3 = nn.Linear(32, 8)
+
+    def forward(self, x):
+        y = F.relu(self.l1(x))
+        z = F.relu(self.l2(y))
+        return self.l3(z + y)
+
+
+class TwoHeadModel(nn.Module):
+    """Multi-output forward: the output template must thread values from
+    different stages into one result tuple."""
+
+    def __init__(self):
+        super().__init__()
+        self.stem = nn.Linear(8, 16)
+        self.head_a = nn.Linear(16, 4)
+        self.head_b = nn.Linear(16, 2)
+
+    def forward(self, x):
+        h = F.relu(self.stem(x))
+        return self.head_a(h), self.head_b(h)
+
+
+def _x(rows=4, cols=16, seed=0):
+    return repro.tensor(
+        np.random.RandomState(seed).randn(rows, cols).astype("float32"))
+
+
+class TestPlanner:
+    def test_requested_stage_count_honored(self):
+        gm = symbolic_trace(PipelineModel())
+        plan = plan_shards(gm, (_x(),), 3)
+        assert plan.n_stages == 3
+        # every compute node is assigned, stages are non-empty
+        covered = {name for s in plan.stages for name in s.node_names}
+        compute = [n.name for n in gm.graph.nodes
+                   if n.op not in ("placeholder", "output", "get_attr")]
+        assert covered == set(compute)
+        assert all(s.node_names for s in plan.stages)
+
+    def test_clamped_to_compute_node_count(self):
+        gm = symbolic_trace(nn.Linear(4, 4))
+        n_compute = len([n for n in gm.graph.nodes
+                         if n.op not in ("placeholder", "output",
+                                         "get_attr")])
+        plan = plan_shards(gm, (_x(2, 4),), n_compute + 50)
+        assert plan.n_stages == n_compute
+
+    def test_cut_is_forward_only(self):
+        gm = symbolic_trace(PipelineModel())
+        plan = plan_shards(gm, (_x(),), 2)
+        validate_forward_cut(
+            gm, lambda n: plan.assignment.get(n.name))  # must not raise
+
+    def test_validate_forward_cut_rejects_backward_edge(self):
+        gm = symbolic_trace(PipelineModel())
+        order = [n for n in gm.graph.nodes
+                 if n.op not in ("placeholder", "output")]
+        backwards = {n.name: len(order) - i for i, n in enumerate(order)}
+        with pytest.raises(ValueError, match="backward cross-stage edge"):
+            validate_forward_cut(gm, lambda n: backwards.get(n.name))
+
+    def test_effectful_graph_rejected(self):
+        class Mutates(nn.Module):
+            def forward(self, x):
+                y = x + 1.0
+                y.add_(1.0)
+                return y * 2.0
+
+        gm = symbolic_trace(Mutates())
+        with pytest.raises(ShardingError, match="effectful"):
+            plan_shards(gm, (_x(),), 2)
+
+    def test_zero_shards_rejected(self):
+        gm = symbolic_trace(PipelineModel())
+        with pytest.raises(ShardingError):
+            plan_shards(gm, (_x(),), 0)
+
+    def test_plan_carries_pipeline_economics(self):
+        gm = symbolic_trace(PipelineModel())
+        plan = plan_shards(gm, (_x(),), 2)
+        assert plan.predicted_serial > 0
+        assert plan.predicted_makespan > 0
+        # speedup is vs single-process serial, so it is bounded by the
+        # stage count — and may drop below 1.0 for a model this tiny,
+        # where queue transfer swamps the overlapped compute (the plan
+        # telling you sharding is not worth it is a feature).
+        assert 0.0 < plan.predicted_speedup <= plan.n_stages + 1e-9
+        assert 0.0 <= plan.predicted_bubble_fraction < 1.0
+        assert "stage 0" in plan.format()
+
+    def test_compute_heavy_model_predicts_real_speedup(self):
+        """When per-stage compute dwarfs the boundary transfer, the plan
+        must predict near-linear pipelining gains."""
+        model = nn.Sequential(nn.Linear(256, 1024), nn.ReLU(),
+                              nn.Linear(1024, 1024), nn.ReLU(),
+                              nn.Linear(1024, 1024), nn.ReLU(),
+                              nn.Linear(1024, 256))
+        gm = symbolic_trace(model)
+        x = repro.tensor(np.random.RandomState(0)
+                         .randn(64, 256).astype("float32"))
+        plan = plan_shards(gm, (x,), 2)
+        assert plan.predicted_speedup > 1.5
+
+    def test_balanced_cut_beats_worst_cut(self):
+        """The DP's bottleneck stage is no slower than a naive half-count
+        split's bottleneck (it optimizes exactly that objective)."""
+        gm = symbolic_trace(PipelineModel())
+        # zero transfer cost: stage cost is pure compute, so the naive
+        # comparison below prices cuts with the same objective as the DP
+        config = ShardConfig(transfer_latency=0.0,
+                             transfer_bytes_per_second=1e30)
+        plan = plan_shards(gm, (_x(),), 2, config)
+        best_bottleneck = max(s.predicted_time for s in plan.stages)
+        # degenerate cut: first node alone vs everything else
+        from repro.fx.passes.cost_model import estimate
+
+        report = estimate(gm, _x())
+        costs = report.by_node()
+        compute = [n for n in gm.graph.nodes
+                   if n.op not in ("placeholder", "output", "get_attr")]
+        times = [config.device.node_time(costs[c.name]) for c in compute]
+        naive_bottleneck = max(times[0], sum(times[1:]))
+        assert best_bottleneck <= naive_bottleneck + 1e-12
+
+
+class TestShardedModule:
+    def test_bit_exact_across_shard_counts(self):
+        model = PipelineModel()
+        x = _x()
+        ref = model(x)
+        for shards in (2, 3, 4):
+            sm = fx.to_backend(model, "eager", shards=shards,
+                               example_inputs=[x])
+            try:
+                out = sm(x)
+                assert float(np.max(np.abs(out.numpy() - ref.numpy()))) \
+                    == 0.0
+                assert sm.plan.n_stages == shards
+            finally:
+                sm.close()
+
+    def test_multi_output_model_exact(self):
+        model = TwoHeadModel()
+        x = _x(3, 8, seed=1)
+        ref_a, ref_b = model(x)
+        sm = fx.to_backend(model, "eager", shards=2, example_inputs=[x])
+        try:
+            out_a, out_b = sm(x)
+            assert np.array_equal(out_a.numpy(), ref_a.numpy())
+            assert np.array_equal(out_b.numpy(), ref_b.numpy())
+        finally:
+            sm.close()
+
+    def test_vm_executor_stages_exact(self):
+        model = PipelineModel()
+        x = _x()
+        ref = model(x)
+        sm = fx.to_backend(model, "eager", shards=2, example_inputs=[x],
+                           executor="vm")
+        try:
+            assert np.array_equal(sm(x).numpy(), ref.numpy())
+        finally:
+            sm.close()
+
+    def test_overlapping_requests_all_exact(self):
+        model = PipelineModel()
+        sm = fx.to_backend(model, "eager", shards=2,
+                           example_inputs=[_x()])
+        try:
+            xs = [_x(seed=i) for i in range(10)]
+            futures = [sm.submit(x) for x in xs]
+            for x, fut in zip(xs, futures):
+                assert np.array_equal(fut.result().numpy(),
+                                      model(x).numpy())
+        finally:
+            sm.close()
+
+    def test_pickle_round_trip_rebuilds_cold(self):
+        model = PipelineModel()
+        x = _x()
+        sm = fx.to_backend(model, "eager", shards=2, example_inputs=[x])
+        try:
+            ref = sm(x)
+            blob = pickle.dumps(sm)
+        finally:
+            sm.close()
+        clone = pickle.loads(blob)
+        try:
+            assert not clone.started  # cold until first call
+            assert np.array_equal(clone(x).numpy(), ref.numpy())
+            assert clone.started
+        finally:
+            clone.close()
+
+    def test_report_predicted_vs_measured(self):
+        model = PipelineModel()
+        sm = fx.to_backend(model, "eager", shards=2,
+                           example_inputs=[_x()])
+        try:
+            for i in range(6):
+                sm(_x(seed=i))
+            rep = sm.report()
+        finally:
+            sm.close()
+        assert rep.measured_requests == 6
+        assert len(rep.measured_stage_times) == 2
+        assert all(t > 0 for t in rep.measured_stage_times)
+        assert rep.plan.predicted_speedup > 0.0
+        assert 0.0 <= rep.measured_bubble_fraction <= 1.0
+        text = rep.format()
+        assert "predicted" in text and "measured" in text
+
+    def test_close_is_idempotent_and_reaps_workers(self):
+        sm = fx.to_backend(PipelineModel(), "eager", shards=2,
+                           example_inputs=[_x()])
+        sm(_x())
+        assert sm.started
+        sm.close()
+        sm.close()  # second close is a no-op
+        assert not multiprocessing.active_children()
+        with pytest.raises(RuntimeError, match="closed"):
+            sm(_x())
+
+    def test_to_backend_requires_example_inputs(self):
+        with pytest.raises(ValueError, match="example_inputs"):
+            fx.to_backend(PipelineModel(), "eager", shards=2)
+
+    def test_shards_one_stays_single_process(self):
+        out = fx.to_backend(PipelineModel(), "eager", shards=1)
+        assert not isinstance(out, ShardedModule)
+
+
+def _make_two_stage(last_module):
+    """Hand-built 2-stage pipeline for runtime failure injection."""
+    specs = [
+        _StageSpec(0, "submod_0", _AddOne(), (_Ref("x"),), "s0", ("x",)),
+        _StageSpec(1, "submod_1", last_module, (_Ref("s0"),), "s1", (),
+                   is_last=True, output_template=_Ref("s1")),
+    ]
+    plan = ShardPlan(stages=[StagePlan(0), StagePlan(1)], assignment={},
+                     device="test", predicted_serial=0.0,
+                     predicted_makespan=0.0, predicted_speedup=1.0,
+                     predicted_bubble_fraction=0.0, sim_requests=1)
+    return ShardedModule([pickle.dumps(s) for s in specs], plan,
+                         ShardConfig(), [("x", False, None, True)],
+                         name="Injected")
+
+
+class _AddOne:
+    def __call__(self, x):
+        return x + 1
+
+
+class _RaiseBoom:
+    def __call__(self, x):
+        raise ValueError("boom in stage body")
+
+
+class _HardCrash:
+    def __call__(self, x):
+        os._exit(3)  # simulates an OOM-kill / segfault of the worker
+
+
+class TestWorkerFailure:
+    def test_stage_exception_surfaces_with_traceback(self):
+        sm = _make_two_stage(_RaiseBoom())
+        try:
+            with pytest.raises(ShardWorkerError) as exc_info:
+                sm(5)
+            message = str(exc_info.value)
+            assert "boom in stage body" in message
+            assert "ValueError" in message
+            assert "stage 1" in message
+            # the pool survives a request-level failure
+            with pytest.raises(ShardWorkerError):
+                sm(6)
+        finally:
+            sm.close()
+        assert not multiprocessing.active_children()
+
+    def test_worker_crash_fails_cleanly_not_hangs(self):
+        sm = _make_two_stage(_HardCrash())
+        try:
+            fut = sm.submit(5)
+            with pytest.raises(ShardWorkerError) as exc_info:
+                fut.result(timeout=30)  # watchdog must beat this deadline
+            assert "died" in str(exc_info.value)
+            assert "exit 3" in str(exc_info.value)
+            # subsequent submits refuse instead of queueing into a corpse
+            with pytest.raises(ShardWorkerError):
+                for _ in range(16):
+                    sm.submit(7)
+        finally:
+            sm.close()
+        assert not multiprocessing.active_children()
+
+    def test_close_fails_outstanding_futures(self):
+        sm = _make_two_stage(_AddOne())
+        assert sm.submit(1).result() == 3  # two +1 stages
+        sm.close()
+        with pytest.raises(RuntimeError):
+            sm.submit(2)
+        assert not multiprocessing.active_children()

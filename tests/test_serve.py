@@ -541,3 +541,75 @@ class TestStats:
                 await server.infer("pw", repro.randn(1, 8))
 
         run(go())
+
+
+class TestShardedServing:
+    def test_sharded_engines_exact_and_reaped(self):
+        """shards=2 serves bit-exact results through a worker-process
+        pipeline, and closing the server reaps every worker."""
+        import multiprocessing
+
+        async def go():
+            model = SmallMLP().eval()
+            async with make_server(shards=2, batching=False,
+                                   workers=2) as server:
+                server.register("mlp", model)
+                xs = [repro.randn(2, 8) for _ in range(6)]
+                outs = await asyncio.gather(
+                    *(server.infer("mlp", x) for x in xs))
+                for x, out in zip(xs, outs):
+                    assert np.array_equal(out.data, model(x).data)
+                from repro.fx.sharding import ShardedModule
+
+                assert any(isinstance(e, ShardedModule)
+                           for e in server._sharded_engines)
+            return server
+
+        run(go())
+        assert not multiprocessing.active_children(), \
+            "server.close() must reap sharded worker pools"
+
+    def test_shard_spec_in_engine_key(self, tmp_path):
+        """The same model served sharded and unsharded must produce two
+        distinct disk artifacts (the key carries the shard spec)."""
+        async def go(shards):
+            repro.manual_seed(7)
+            model = SmallMLP().eval()
+            async with InferenceServer(ServeConfig(
+                    workers=2, shards=shards, batching=False,
+                    cache_dir=str(tmp_path))) as server:
+                server.register("mlp", model)
+                x = repro.randn(2, 8)
+                out = await server.infer("mlp", x)
+                assert np.array_equal(out.data, model(x).data)
+                return server.stats()["engine_cache"]
+
+        first = run(go(1))
+        assert first["builds"] == 1
+        second = run(go(2))  # same model, sharded: its own engine
+        assert second["builds"] == 1
+        assert second["disk_hits"] == 0
+
+        third = run(go(2))  # sharded again: cold ShardedModule from disk
+        assert third["builds"] == 0
+        assert third["disk_hits"] == 1
+
+    def test_unshardable_model_falls_back_unsharded(self):
+        """A model sharding refuses (effectful graph) still serves."""
+        class Mutating(nn.Module):
+            def forward(self, x):
+                y = x + 1.0
+                y.add_(1.0)
+                return y * 2.0
+
+        async def go():
+            model = Mutating()
+            async with make_server(shards=2, batching=False,
+                                   workers=2) as server:
+                server.register("mut", model)
+                x = repro.randn(2, 8)
+                out = await server.infer("mut", x)
+                assert np.allclose(out.data, ((x.data + 2.0) * 2.0),
+                                   atol=1e-6)
+
+        run(go())
