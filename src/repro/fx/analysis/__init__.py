@@ -21,7 +21,14 @@ On top sit the user-facing layers:
   tracer-recorded source provenance (also ``python -m repro.fx.analysis``);
 * :class:`PassVerifier` — re-checks invariants after every
   ``PassManager`` pass and fails the pipeline *naming the pass* when one
-  regresses.
+  regresses;
+* :mod:`~repro.fx.analysis.breaks` — graph-break detection,
+  classification and repair (GraphMend): :func:`detect_breaks` /
+  :func:`mend` / :func:`polyvariant_trace`
+  (also ``python -m repro.fx.analysis breaks``);
+* :mod:`~repro.fx.analysis.guards` — :func:`derive_guards` proves via
+  symbolic shape propagation which input dims a captured graph is generic
+  over, producing the :class:`GuardSet` that serving keys engines on.
 """
 
 from .engine import (
@@ -64,6 +71,17 @@ from .diagnostics import (
     registered_rules,
 )
 from .verifier import PassVerifier, VerificationError
+from .breaks import (
+    BreakEvent,
+    BreakReport,
+    PolyvariantModule,
+    RecordingTracer,
+    RepairError,
+    detect_breaks,
+    mend,
+    polyvariant_trace,
+)
+from .guards import DimGuard, GuardSet, derive_guards
 
 __all__ = [
     "Analysis",
@@ -72,18 +90,25 @@ __all__ = [
     "AliasAnalysis",
     "AliasResult",
     "AliasView",
+    "BreakEvent",
+    "BreakReport",
     "Diagnostic",
     "DiagnosticReport",
+    "DimGuard",
     "DtypePromotionAnalysis",
     "DtypeResult",
     "Effect",
     "FixpointStats",
+    "GuardSet",
     "Hazard",
     "MutationHazardAnalysis",
     "MutationResult",
     "PassVerifier",
+    "PolyvariantModule",
     "PurityAnalysis",
     "PurityResult",
+    "RecordingTracer",
+    "RepairError",
     "Rule",
     "Severity",
     "UpcastRecord",
@@ -92,6 +117,8 @@ __all__ = [
     "analyze",
     "classify_effect",
     "clear_analysis_cache",
+    "derive_guards",
+    "detect_breaks",
     "fixpoint",
     "fused_out_clobbers",
     "get_analysis",
@@ -100,6 +127,8 @@ __all__ = [
     "is_inplace_method",
     "lint_graph",
     "may_alias_input",
+    "mend",
+    "polyvariant_trace",
     "register_analysis",
     "register_rule",
     "registered_rules",

@@ -17,6 +17,15 @@ Examples::
 Exit status: 1 when any error-severity diagnostic is reported (or the
 spec fails to load/trace), else 0 — warnings and notes never fail the
 run, so the lint can gate CI without blocking on style findings.
+
+The ``breaks`` subcommand runs graph-break detection (GraphMend) instead
+of lint: every specialization event is reported with its source construct
+and ranked by fix difficulty, and with ``--baseline FILE`` the run fails
+only on *new* breaks that cannot be repaired automatically::
+
+    python -m repro.fx.analysis breaks repro.models:resnet18 mymodel.py:Net
+    python -m repro.fx.analysis breaks mymodel.py:Net --baseline ci/break_baseline.json
+    python -m repro.fx.analysis breaks mymodel.py:Net --baseline ci/break_baseline.json --update-baseline
 """
 
 from __future__ import annotations
@@ -24,6 +33,8 @@ from __future__ import annotations
 import argparse
 import importlib
 import importlib.util
+import json
+import os
 import sys
 from typing import Any, Optional, Sequence
 
@@ -73,7 +84,109 @@ def _parse_shape(text: str) -> tuple[int, ...]:
         raise SystemExit(f"error: bad shape {text!r}; expected e.g. 1,3,224,224")
 
 
+def _as_module(obj: Any):
+    """Instantiate a spec target without tracing it (break detection needs
+    the eager module, with its original ``forward`` source)."""
+    from ...nn import Module
+
+    if not isinstance(obj, Module) and callable(obj):
+        obj = obj()
+    return obj
+
+
+def _breaks_main(argv: Sequence[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fx.analysis breaks",
+        description="Detect, classify and rank graph breaks (GraphMend).")
+    parser.add_argument(
+        "specs", nargs="+",
+        help="models to scan: 'pkg.mod:attr' or 'path/file.py:attr'")
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="JSON baseline of known breaks; only *new* non-auto-fixable "
+             "breaks fail the run")
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from this run's findings and exit 0")
+    parser.add_argument(
+        "--max-events", type=int, default=64,
+        help="stop detection after this many events per model")
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit machine-readable JSON instead of the text report")
+    args = parser.parse_args(argv)
+
+    from .breaks import AUTO_FIXABLE, detect_breaks
+
+    baseline: dict = {}
+    if args.baseline and os.path.exists(args.baseline):
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+
+    reports = {}
+    failures: list[tuple[str, Any]] = []
+    load_failures = 0
+    for spec in args.specs:
+        try:
+            mod = _as_module(_load_spec(spec))
+        except SystemExit:
+            raise
+        except Exception as exc:
+            print(f"error: could not load {spec!r}: {exc}", file=sys.stderr)
+            load_failures += 1
+            continue
+        report = detect_breaks(mod, max_events=args.max_events)
+        reports[spec] = report
+        known = set(baseline.get(spec, []))
+        for event in report.events:
+            if event.key() not in known and event.classification not in AUTO_FIXABLE:
+                failures.append((spec, event))
+
+    if args.as_json:
+        print(json.dumps(
+            {
+                spec: {
+                    "aborted": rep.aborted,
+                    "auto_fixable": rep.auto_fixable,
+                    "events": [e.to_dict() for e in rep.ranked()],
+                }
+                for spec, rep in reports.items()
+            },
+            indent=2,
+        ))
+    else:
+        for rep in reports.values():
+            print(rep.format())
+            print()
+
+    if args.update_baseline:
+        if not args.baseline:
+            print("error: --update-baseline requires --baseline FILE",
+                  file=sys.stderr)
+            return 1
+        for spec, rep in reports.items():
+            baseline[spec] = sorted({e.key() for e in rep.events})
+        os.makedirs(os.path.dirname(os.path.abspath(args.baseline)), exist_ok=True)
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 1 if load_failures else 0
+
+    if failures:
+        print(f"FAIL: {len(failures)} new non-auto-fixable break(s) not in "
+              "the baseline:", file=sys.stderr)
+        for spec, event in failures:
+            print(f"  {spec}: [{event.classification}] {event.key()} at "
+                  f"{event.location}", file=sys.stderr)
+        return 1
+    return 1 if load_failures else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    if argv and argv[0] == "breaks":
+        return _breaks_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.fx.analysis",
         description="Trace a module and lint its captured graph.")

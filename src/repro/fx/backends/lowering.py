@@ -230,7 +230,12 @@ def to_backend(
             in a persistent worker-process pool (requires
             ``example_inputs`` for shape propagation).
         example_inputs: example inputs for the shard planner's shape
-            propagation; only consulted when ``shards > 1``.
+            propagation (``shards > 1``).  When given with ``shards == 1``
+            they additionally drive guard derivation: a
+            :class:`~repro.fx.analysis.guards.GuardSet` proved by symbolic
+            shape propagation over the pristine capture is attached to the
+            result as ``.guards`` (and into ``VMProgram.meta["guards"]``),
+            recording which input dims the artifact is generic over.
         shard_config: optional :class:`~repro.fx.sharding.ShardConfig`.
 
     Returns:
@@ -268,6 +273,18 @@ def to_backend(
         gm = symbolic_trace(model)
     be.validate_input(gm)
     nodes_before = len(gm.graph)
+
+    # Guard derivation runs on the pristine capture, before any backend
+    # pass rewrites nodes into targets (FusedKernel, ...) that symbolic
+    # shape propagation has no transfer functions for.
+    guards = None
+    if example_inputs is not None:
+        from ..analysis.guards import derive_guards
+
+        try:
+            guards = derive_guards(gm, tuple(example_inputs))
+        except Exception:
+            guards = None
 
     records: list[PassRecord] = []
     passes = be.preferred_passes(gm)
@@ -337,6 +354,11 @@ def to_backend(
     )
     try:
         out.backend_report = report
+        if guards is not None:
+            out.guards = guards
+            prog = getattr(out, "program", None)
+            if prog is not None and hasattr(prog, "meta"):
+                prog.meta["guards"] = guards
     except Exception:  # a backend may return a slotted/frozen module
         pass
     return out

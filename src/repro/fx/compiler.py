@@ -151,7 +151,11 @@ def compile(  # noqa: A001 - mirrors torch.compile
     Returns:
         The optimized, recompiled ``GraphModule`` (or the ``VMModule``
         wrapping it under ``executor="vm"``); its ``compile_report``
-        attribute holds the :class:`CompileReport`.
+        attribute holds the :class:`CompileReport`.  When example inputs
+        were given, ``.guards`` carries the
+        :class:`~repro.fx.analysis.guards.GuardSet` proved over the
+        capture (symbolic batch dim where possible) — the constraints
+        under which this artifact may serve *other* input shapes.
     """
     if executor not in ("codegen", "vm"):
         raise ValueError(f"unknown executor {executor!r}; "
@@ -163,8 +167,10 @@ def compile(  # noqa: A001 - mirrors torch.compile
     backend = NumpyBackend(example_inputs, fuse=fuse,
                            memory_planning=memory_planning)
     out = to_backend(module, backend, allow_fallback=True,
-                     lint=lint, cache=cache, verify=verify)
+                     lint=lint, cache=cache, verify=verify,
+                     example_inputs=example_inputs or None)
     breport = out.backend_report
+    guards = getattr(out, "guards", None)
 
     fused_regions = 0
     fused_ops = 0
@@ -189,6 +195,9 @@ def compile(  # noqa: A001 - mirrors torch.compile
         vm_out: Module = VMModule(compile_to_vm(out))
         vm_out.backend_report = breport
         vm_out.compile_report = report
+        if guards is not None:
+            vm_out.guards = guards
+            vm_out.program.meta["guards"] = guards
         return vm_out
     out.compile_report = report
     return out

@@ -42,7 +42,8 @@ from ...functional import _pair
 from ..graph_module import GraphModule
 from ..node import Node, map_aggregate
 
-__all__ = ["SymDim", "SymExpr", "SymShape", "SymbolicShapeProp", "ShapeInferenceError"]
+__all__ = ["SymDim", "SymExpr", "SymShape", "SymbolicShapeProp",
+           "ShapeInferenceError", "ceil_div"]
 
 
 class ShapeInferenceError(RuntimeError):
@@ -278,9 +279,26 @@ def _sym(d: Dim) -> SymExpr:
     return SymExpr.of(d)
 
 
-def _conv_out(size: Dim, kernel: int, stride: int, padding: int, dilation: int) -> Dim:
+def ceil_div(size: Dim, divisor: int) -> Dim:
+    """Ceiling division ``ceil(size / divisor)`` in the symbolic fragment.
+
+    Computed as ``(size + divisor - 1) // divisor``, which stays exact for
+    every integer binding of the symbols — this is the arithmetic
+    ``ceil_mode`` pooling shapes need.  Like plain floor division, it
+    raises :class:`ShapeInferenceError` when a symbolic coefficient is not
+    divisible by *divisor* (the result would depend on the residue)."""
+    if not isinstance(divisor, int) or divisor <= 0:
+        raise ShapeInferenceError(f"ceil_div needs a positive int divisor, got {divisor!r}")
+    return _canon_dim((_sym(size) + (divisor - 1)) // divisor)
+
+
+def _conv_out(size: Dim, kernel: int, stride: int, padding: int, dilation: int,
+              ceil_mode: bool = False) -> Dim:
     eff = (kernel - 1) * dilation + 1
-    return _canon_dim((_sym(size) + (2 * padding - eff)) // stride + 1)
+    numer = _sym(size) + (2 * padding - eff)
+    if ceil_mode:
+        return _canon_dim(_sym(ceil_div(numer, stride)) + 1)
+    return _canon_dim(numer // stride + 1)
 
 
 # ---------------------------------------------------------------------------
@@ -310,6 +328,10 @@ _BROADCAST_FUNCTIONS = {
     F.add, F.sub, F.mul, F.div, F.pow, F.maximum, F.minimum, F.where,
     operator.add, operator.sub, operator.mul, operator.truediv,
     operator.floordiv, operator.mod, operator.pow,
+    # comparisons broadcast like arithmetic (result is a bool mask); the
+    # where-repair emits these as select predicates
+    operator.gt, operator.lt, operator.ge, operator.le,
+    operator.eq, operator.ne,
 }
 
 
@@ -448,7 +470,9 @@ class SymbolicShapeProp:
             kh, kw = _pair(mod.kernel_size)
             sh, sw = _pair(mod.stride)
             ph, pw = _pair(mod.padding)
-            return SymShape((n, c, _conv_out(h, kh, sh, ph, 1), _conv_out(w, kw, sw, pw, 1)))
+            cm = bool(getattr(mod, "ceil_mode", False))
+            return SymShape((n, c, _conv_out(h, kh, sh, ph, 1, cm),
+                             _conv_out(w, kw, sw, pw, 1, cm)))
         if isinstance(mod, AdaptiveAvgPool2d):
             n, c = x[0], x[1]
             oh, ow = _pair(mod.output_size)
@@ -614,14 +638,33 @@ class SymbolicShapeProp:
         return SymShape(tuple(x[:start]) + (_canon_dim(merged),) + tuple(x[end + 1:]))
 
     def _reshape_shape(self, x: SymShape, dims: tuple) -> SymShape:
-        if -1 not in [d for d in dims if isinstance(d, int)]:
-            return SymShape(dims)
         total = x.numel()
+        if -1 not in [d for d in dims if isinstance(d, int)]:
+            target = SymShape(dims).numel()
+            # Soundness: a symbolic input reshaped to an explicit shape is
+            # only valid when the element counts agree for *every* symbol
+            # binding.  reshape(8, 4) on an (N, 8) input works at exactly
+            # one batch size — claiming it generic would let guard
+            # derivation share an engine that errors off the example shape.
+            if _sym(target) != _sym(total):
+                raise ShapeInferenceError(
+                    f"reshape target {tuple(dims)} has {target} elements but "
+                    f"the input has {total}; not equal for every symbol "
+                    "binding"
+                )
+            return SymShape(dims)
         known = SymExpr({}, 1)
         for d in dims:
             if not (isinstance(d, int) and d == -1):
                 known = known * _sym(d)
         inferred = total // known
+        # The floor division must have been exact, or the -1 dim would
+        # drop a remainder for some bindings (runtime reshape error).
+        if _sym(inferred) * known != _sym(total):
+            raise ShapeInferenceError(
+                f"cannot infer -1 in reshape to {tuple(dims)}: {known} does "
+                f"not divide {total} exactly"
+            )
         return SymShape([
             _canon_dim(inferred) if (isinstance(d, int) and d == -1) else d
             for d in dims

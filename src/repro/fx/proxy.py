@@ -64,39 +64,49 @@ class Proxy:
         return self.tracer.to_bool(self)
 
     def __index__(self) -> int:
-        raise TraceError(
+        return self.tracer.concretize(
+            "index",
+            self,
             f"cannot use Proxy {self.node.name!r} as an index: its value is "
             "not known at trace time. If this value is input-independent, "
             "pass it via concrete_args; otherwise restructure the model or "
-            "mark the enclosing module as a leaf."
+            "mark the enclosing module as a leaf.",
         )
 
     def __int__(self) -> int:
-        raise TraceError(
+        return self.tracer.concretize(
+            "int",
+            self,
             f"cannot cast Proxy {self.node.name!r} to int during symbolic "
             "tracing: the concrete value does not exist at trace time (§5.3). "
             "Use shape propagation after tracing, or a custom Tracer that "
-            "specializes sizes."
+            "specializes sizes.",
         )
 
     def __float__(self) -> float:
-        raise TraceError(
-            f"cannot cast Proxy {self.node.name!r} to float during symbolic tracing"
+        return self.tracer.concretize(
+            "float",
+            self,
+            f"cannot cast Proxy {self.node.name!r} to float during symbolic tracing",
         )
 
     def __len__(self) -> int:
-        raise TraceError(
+        return self.tracer.concretize(
+            "len",
+            self,
             f"cannot take len() of Proxy {self.node.name!r}: symbolic tracing "
             "does not know tensor sizes. Trace with concrete_args or make the "
-            "surrounding module a leaf."
+            "surrounding module a leaf.",
         )
 
     def __iter__(self):
         return self.tracer.iter(self)
 
     def __contains__(self, item) -> bool:
-        raise TraceError(
-            f"cannot test membership in Proxy {self.node.name!r} at trace time"
+        return self.tracer.concretize(
+            "contains",
+            self,
+            f"cannot test membership in Proxy {self.node.name!r} at trace time",
         )
 
     # -- misc recorded operations ----------------------------------------------------------
@@ -107,11 +117,13 @@ class Proxy:
         )
 
     def __setitem__(self, key, value) -> None:
-        raise TraceError(
+        self.tracer.concretize(
+            "setitem",
+            self,
             f"mutation through Proxy {self.node.name!r} (x[...] = y) is not "
             "representable: the fx IR is functional and defines mutation as "
             "undefined behaviour (§5.6). Rewrite using repro.where / "
-            "masked_fill, or make the mutating module a leaf."
+            "masked_fill, or make the mutating module a leaf.",
         )
 
 

@@ -15,6 +15,12 @@ Programs come in two families:
   that is symbolically traced; the untraced module provides an independent
   *eager* reference for the differential oracle, and the conv family gives
   the fusion and quantization pipelines real work.
+* ``"control_flow"`` — a module with Python control flow the plain tracer
+  cannot capture (data-dependent ``if``, shape-dependent branch, bounded
+  loop), captured through :func:`repro.fx.analysis.mend` — the where-repair
+  / polyvariant pipeline.  The untraced module is the eager reference and
+  ``alt_inputs`` holds extra input batches that drive the *other* branch
+  outcome, so the oracle's ``repaired`` check exercises both sides.
 
 Determinism contract (relied on by :mod:`.minimize` and the replay tests):
 
@@ -38,8 +44,8 @@ import numpy as np
 
 from ... import functional as F
 from ...nn import (
-    BatchNorm2d, Conv2d, Flatten, GELU, LayerNorm, Linear, Module, ReLU,
-    Sequential, Sigmoid, Tanh,
+    BatchNorm2d, Conv2d, Flatten, GELU, LayerNorm, Linear, Module, Parameter,
+    ReLU, Sequential, Sigmoid, Tanh,
 )
 from ...tensor import Tensor, manual_seed, randn
 from ..graph import Graph
@@ -63,7 +69,7 @@ class ProgramSpec:
 
     Attributes:
         seed: master seed; drives every decision and all tensor values.
-        family: ``"graph"`` or ``"module"``.
+        family: ``"graph"``, ``"module"``, or ``"control_flow"``.
         n_ops: number of op *slots*; each slot emits zero, one, or two nodes.
         skip: op slots suppressed by the minimizer (empty for fresh runs).
     """
@@ -82,11 +88,14 @@ class GeneratedProgram:
     """A generated program plus everything the oracle needs to judge it."""
 
     spec: ProgramSpec
-    gm: GraphModule
+    gm: Any                    # GraphModule, or PolyvariantModule (control_flow)
     inputs: tuple
     eager: Optional[Callable]  # independent reference, or None (graph family)
     source: str                # generated forward source (byte-stable per spec)
     ops_emitted: int
+    #: extra input batches driving the *other* branch outcomes
+    #: (control_flow family; empty elsewhere)
+    alt_inputs: tuple = ()
 
 
 def spec_for_iteration(seed: int, i: int) -> ProgramSpec:
@@ -95,7 +104,10 @@ def spec_for_iteration(seed: int, i: int) -> ProgramSpec:
     Kept here (not in the CLI) so a failure report's ``(seed, i)`` pair and
     a :class:`ProgramSpec` are interchangeable.
     """
-    family = "module" if i % 4 == 3 else "graph"
+    if i % 8 == 5:
+        family = "control_flow"
+    else:
+        family = "module" if i % 4 == 3 else "graph"
     return ProgramSpec(seed=seed * 1_000_003 + i, family=family, n_ops=4 + (i % 9))
 
 
@@ -108,6 +120,8 @@ def generate_program(spec: ProgramSpec) -> GeneratedProgram:
         return _generate_graph_program(spec)
     if spec.family == "module":
         return _generate_module_program(spec)
+    if spec.family == "control_flow":
+        return _generate_control_flow_program(spec)
     raise ValueError(f"unknown program family {spec.family!r}")
 
 
@@ -357,3 +371,115 @@ def _generate_module_program(spec: ProgramSpec) -> GeneratedProgram:
     model.eval()  # deterministic re-execution (frozen BN statistics)
     gm = symbolic_trace(model)
     return GeneratedProgram(spec, gm, inputs, model, gm.code, len(layers))
+
+
+# -- control-flow family -------------------------------------------------------
+#
+# These classes live at module level (not inside the generator function) so
+# their ``forward`` source is on disk — the break classifier reads the AST
+# to decide between where-repair and polyvariant capture, and source-less
+# closures would degrade every event to "unclassified".
+
+
+class _DataIfNet(Module):
+    """Data-dependent ``if`` in the where-repairable shape: both branches
+    assign the same name once.  The gate reads the *input* sum, so negating
+    the input drives the other branch."""
+
+    def __init__(self, feat: int, scale: float, shift: float):
+        super().__init__()
+        self.lin = Linear(feat, feat)
+        self.scale = scale
+        self.shift = shift
+
+    def forward(self, x):
+        gate = x.sum()
+        h = self.lin(x)
+        if gate > 0:
+            y = h * self.scale
+        else:
+            y = h - self.shift
+        return F.tanh(y)
+
+
+class _ShapeIfNet(Module):
+    """Shape-dependent branch with multi-statement arms — not expressible
+    as a single ``where``, so capture must go polyvariant.  Parameters are
+    shape ``(1,)`` and broadcast, so both widths run eagerly."""
+
+    def __init__(self):
+        super().__init__()
+        self.a = Parameter(randn(1))
+        self.b = Parameter(randn(1))
+
+    def forward(self, x):
+        if x.shape[-1] >= 4:
+            h = x * self.a
+            h = F.relu(h)
+        else:
+            h = x + self.b
+            h = F.sigmoid(h)
+        return h * 2.0
+
+
+class _BoundedLoopNet(Module):
+    """Fixed-trip-count loop — traces clean by unrolling; exercises
+    :func:`~repro.fx.analysis.mend`'s no-break fast path.  The loop body
+    is pointwise-only: reusing ``self.lin`` per step would unroll into N
+    ``call_module`` sites on one submodule, which quantization's boundary
+    insertion does not support."""
+
+    def __init__(self, feat: int, steps: int, decay: float):
+        super().__init__()
+        self.lin = Linear(feat, feat)
+        self.steps = steps
+        self.decay = decay
+
+    def forward(self, x):
+        h = self.lin(x)
+        for _ in range(self.steps):
+            h = F.relu(h) * self.decay + h
+        return h
+
+
+def _generate_control_flow_program(spec: ProgramSpec) -> GeneratedProgram:
+    from ..analysis.breaks import PolyvariantModule, mend
+
+    rng = _rng_for(spec, "control_flow")
+    kind = rng.choice(("data_if", "shape_if", "bounded_loop"))
+    if kind == "data_if":
+        feat = rng.choice(FEATURES)
+        model = _DataIfNet(feat,
+                           scale=round(rng.uniform(0.5, 1.5), 3),
+                           shift=round(rng.uniform(0.1, 1.0), 3))
+        x = randn(BATCH, feat)
+        inputs = (x,)
+        # Negating the input flips the sign of gate = x.sum(), driving the
+        # branch the example trace did not take.
+        alt_inputs = ((x * -1.0,),)
+        ops = 5
+    elif kind == "shape_if":
+        model = _ShapeIfNet()
+        wide = rng.choice((4, 5))
+        narrow = rng.choice((2, 3))
+        inputs = (randn(BATCH, wide),)
+        alt_inputs = ((randn(BATCH, narrow),),)
+        ops = 3
+    else:
+        feat = rng.choice(FEATURES)
+        steps = rng.randint(2, 4)
+        model = _BoundedLoopNet(feat, steps,
+                                decay=round(rng.uniform(0.2, 0.8), 3))
+        inputs = (randn(BATCH, feat),)
+        alt_inputs = ()
+        ops = 2 * steps
+    model.eval()
+    gm = mend(model, example_inputs=[inputs, *alt_inputs])
+    if isinstance(gm, PolyvariantModule):
+        source = "\n".join(
+            gm.variant(i).code for i in range(gm.num_variants)
+            if gm.variant(i) is not None)
+    else:
+        source = gm.code
+    return GeneratedProgram(spec, gm, inputs, model, source, ops,
+                            alt_inputs=alt_inputs)

@@ -266,6 +266,13 @@ def run_oracle(program: GeneratedProgram, localize: bool = True,
     report = OracleReport(program)
     gm, inputs = program.gm, program.inputs
 
+    if not isinstance(gm, GraphModule):
+        # Polyvariant capture (control_flow family): the capture is a
+        # dispatcher over several GraphModules, so the graph-transforming
+        # checks don't apply — the differential `repaired` check is the
+        # whole contract.
+        only = frozenset({"repaired"})
+
     def want(name: str) -> bool:
         return only is None or name in only
 
@@ -363,6 +370,11 @@ def run_oracle(program: GeneratedProgram, localize: bool = True,
     if want("vm_compiled"):
         _check_vm_compiled(report, gm, inputs, ref, scale)
 
+    # -- repaired control flow vs eager, on both branch outcomes -----------
+    if want("repaired") and program.eager is not None and (
+            program.spec.family == "control_flow" or program.alt_inputs):
+        _check_repaired(report, program)
+
     # -- backend lowering with a random support predicate ------------------
     if want("backend_split"):
         _check_backend_split(report, program, gm, inputs, ref, scale)
@@ -375,6 +387,34 @@ def run_oracle(program: GeneratedProgram, localize: bool = True,
     if want("quant_prepare") or want("quant_convert"):
         _check_quantization(report, gm, inputs, ref, scale, localize)
     return report
+
+
+def _check_repaired(report: OracleReport, program: GeneratedProgram) -> None:
+    """A mended capture (where-rewrite or polyvariant dispatch) must match
+    the eager module **bit-exactly** on the example inputs *and* on every
+    ``alt_inputs`` batch — the batches generated to drive the branch
+    outcomes the example trace did not take.  Any ulp of drift means the
+    repair changed semantics, so there is no tolerance here."""
+    gm, eager = program.gm, program.eager
+    worst = 0.0
+    for label, batch in [("inputs", program.inputs)] + [
+            (f"alt_inputs[{i}]", b) for i, b in enumerate(program.alt_inputs)]:
+        try:
+            expected = eager(*batch)
+            got = gm(*batch)
+        except Exception as exc:
+            report.outcomes.append(CheckOutcome(
+                "repaired", False, f"{label}: {_exc_summary(exc)}"))
+            return
+        err = max_abs_diff(expected, got)
+        if err > 0.0:
+            report.outcomes.append(CheckOutcome(
+                "repaired", False,
+                f"{label}: repaired capture diverged from eager by {err:.3g} "
+                f"(must be bit-exact)", max_err=err))
+            return
+        worst = max(worst, err)
+    report.outcomes.append(CheckOutcome("repaired", True, max_err=worst))
 
 
 def _check_vm(report: OracleReport, gm: GraphModule, inputs: tuple,

@@ -79,7 +79,15 @@ class TracerBase:
         kwargs_ir = self.create_arg(kwargs)
         node = self.create_node(op, target, args_ir, kwargs_ir, name, type_expr)
         if getattr(self, "record_stack_traces", True):
-            node.meta.setdefault("stack_trace", _user_frame_summary())
+            stack = _user_stack()
+            if stack:
+                node.meta.setdefault(
+                    "stack_trace",
+                    " <- ".join(f"{f}:{ln} in {fn}" for f, ln, fn in stack),
+                )
+                node.meta.setdefault("stack_frames", stack)
+            else:
+                node.meta.setdefault("stack_trace", None)
         return self.proxy(node)
 
     def create_arg(self, a: Any) -> Any:
@@ -120,15 +128,46 @@ class TracerBase:
 
     # -- concretization hooks (override to allow e.g. specialized tracing) -------
 
+    def concretize(self, kind: str, obj: Proxy, message: str):
+        """Funnel for every specialization event (§5.3).
+
+        Any operation that would force a Proxy to a concrete value —
+        ``bool()``, ``int()``, ``len()``, iteration, indexing, membership —
+        lands here as a structured :class:`~repro.fx.analysis.breaks.BreakEvent`
+        carrying the full user stack and the origin of the offending value.
+        The default policy hands the event to :meth:`on_break`, which raises
+        ``TraceError``; analysis tracers override ``on_break`` to record the
+        event and keep tracing (speculating a value) instead.
+        """
+        from .analysis.breaks import BreakEvent
+
+        event = BreakEvent(
+            kind=kind,
+            node_name=obj.node.name,
+            message=message,
+            stack=_user_stack(),
+            origin=obj.node.meta.get("stack_trace"),
+            node=obj.node,
+        )
+        return self.on_break(event)
+
+    def on_break(self, event) -> Any:
+        """Policy hook for specialization events. Default: refuse to trace."""
+        err = TraceError(event.message)
+        err.break_event = event
+        raise err
+
     def to_bool(self, obj: Proxy) -> bool:
         origin = obj.node.meta.get("stack_trace")
         where = f" (value created at {origin})" if origin else ""
-        raise TraceError(
+        return self.concretize(
+            "bool",
+            obj,
             f"symbolically traced variable {obj.node.name!r} cannot be used in "
             "control flow: its boolean value is input-dependent and unknown at "
             f"trace time (§5.3){where}. Options: move the branch out of the "
             "traced region, make the containing module a leaf, or bake the "
-            "decision with concrete_args."
+            "decision with concrete_args.",
         )
 
     def iter(self, obj: Proxy):
@@ -164,29 +203,60 @@ class TracerBase:
                             for i in range(n)
                         ]
                     )
-        raise TraceError(
+        return self.concretize(
+            "iter",
+            obj,
             f"cannot iterate over Proxy {obj.node.name!r}: the number of "
             "elements is unknown at trace time. Unpack with explicit indexing "
-            "(x[0], x[1]) or trace with concrete_args."
+            "(x[0], x[1]) or trace with concrete_args.",
         )
 
 
-def _user_frame_summary() -> str | None:
-    """File:line of the user code that caused the current node creation.
+_INTERNAL_MODULE_PREFIXES = (
+    "repro.fx", "repro.tensor", "repro.functional", "repro.nn.module",
+)
+#: Framework-hosted *user* code: modules under internal prefixes whose
+#: frames are still model provenance (the fuzz generator's model classes).
+_USER_MODULE_PREFIXES = ("repro.fx.testing",)
 
-    Walks out of framework frames so §5.3-style error messages (and
-    debugging generally) can point at the model source, not the tracer.
+
+def _user_stack(limit: int = 24) -> tuple[tuple[str, int, str], ...]:
+    """Full user-code call stack, innermost first, trimmed of repro internals.
+
+    Each entry is ``(filename, lineno, funcname)``.  The walk stops at the
+    trace entry point (``Tracer.trace``) so frames *above* the trace — the
+    test harness, the CLI — are never included.
     """
     import sys
 
+    frames: list[tuple[str, int, str]] = []
     frame = sys._getframe(1)
-    while frame is not None:
+    while frame is not None and len(frames) < limit:
         mod = frame.f_globals.get("__name__", "")
-        if not mod.startswith(("repro.fx", "repro.tensor", "repro.functional",
-                               "repro.nn.module")):
-            return f'{frame.f_code.co_filename}:{frame.f_lineno} in {frame.f_code.co_name}'
+        if mod.startswith(_INTERNAL_MODULE_PREFIXES) \
+                and not mod.startswith(_USER_MODULE_PREFIXES):
+            if mod == __name__ and frame.f_code.co_name == "trace":
+                break
+        else:
+            frames.append(
+                (frame.f_code.co_filename, frame.f_lineno, frame.f_code.co_name)
+            )
         frame = frame.f_back
-    return None
+    return tuple(frames)
+
+
+def _user_frame_summary() -> str | None:
+    """User-code provenance of the current node creation, innermost first.
+
+    Walks out of framework frames so §5.3-style error messages (and
+    debugging generally) can point at the model source, not the tracer.
+    When the user code was reached through a chain of user calls, the whole
+    chain is reported (``a.py:3 in helper <- a.py:9 in forward``).
+    """
+    stack = _user_stack()
+    if not stack:
+        return None
+    return " <- ".join(f"{f}:{ln} in {fn}" for f, ln, fn in stack)
 
 
 class _RootShim(Module):

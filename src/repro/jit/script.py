@@ -37,7 +37,33 @@ from ..nn import Module, Parameter
 from ..tensor import Tensor
 from .ts_ir import TSBlock, TSGraph, TSValue
 
-__all__ = ["script", "ScriptedModule"]
+__all__ = ["script", "ScriptedModule", "parse_function"]
+
+
+def parse_function(fn: Callable) -> ast.FunctionDef:
+    """Parse *fn*'s source into a function AST with file line numbers.
+
+    This is the shared parsing front end: the jit.script compiler uses it to
+    inline called functions, and the graph-break analyzer
+    (:mod:`repro.fx.analysis.breaks`) uses it to map specialization events
+    back to the enclosing AST construct.  The source is dedented before
+    parsing and line numbers are shifted back to *file* coordinates, so an
+    ``ast.If`` node's ``lineno``/``end_lineno`` can be compared directly
+    against frame line numbers from a traceback.
+
+    Raises ``OSError``/``TypeError``/``SyntaxError`` when the source is
+    unavailable (builtins, REPL-defined functions, exec'd code).
+    """
+    source = textwrap.dedent(inspect.getsource(fn))
+    tree = ast.parse(source).body[0]
+    if not isinstance(tree, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise TypeError(f"source of {fn!r} is not a function definition")
+    code = getattr(fn, "__code__", None)
+    if code is None and hasattr(fn, "__func__"):
+        code = fn.__func__.__code__
+    if code is not None:
+        ast.increment_lineno(tree, code.co_firstlineno - 1)
+    return tree
 
 
 class _Return:
@@ -597,13 +623,11 @@ class _ScriptCompiler:
             self.warn(f"inline depth limit at {fn.__qualname__}")
             return self.graph.create("prim::CallFunction", [], 1, block=block).outputs[0]
         try:
-            source = textwrap.dedent(inspect.getsource(fn))
-            tree = ast.parse(source).body[0]
+            tree = parse_function(fn)
         except (OSError, TypeError, SyntaxError) as e:
             self.warn(f"cannot get source of {fn!r}: {e}")
             inputs = [self.as_value(a, block) for a in args]
             return self.graph.create("prim::CallFunction", inputs, 1, block=block).outputs[0]
-        assert isinstance(tree, (ast.FunctionDef, ast.AsyncFunctionDef))
         env: dict[str, Any] = {"__globals__": fn.__globals__}
         params = [a.arg for a in tree.args.args]
         defaults = tree.args.defaults

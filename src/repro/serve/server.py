@@ -18,6 +18,11 @@ Architecture (stdlib only)::
   signature) compiles once, process-wide, via :class:`.EngineCache`;
   with a cache directory, a cold process loads the pickled program
   instead of recompiling.
+* **Guard-keyed engines** — a per-model
+  :class:`~repro.fx.analysis.guards.GuardSet` (proved by symbolic shape
+  propagation) canonicalizes the dynamic dims out of the cache key, so
+  one engine serves every batch size its guards admit; violating
+  requests fall back to concrete per-shape engines.
 * **Concurrency safety** — engines are :class:`~repro.fx.vm.VMProgram`\s
   replayed through per-call arena leases, and every compile-stack cache
   is locked/single-flighted, so one shared engine serves the whole
@@ -78,6 +83,14 @@ class ServeConfig:
             engine owns a persistent worker-process pool (closed with the
             server).  Models sharding rejects (e.g. effectful graphs)
             fall back to unsharded engines under the same key.
+        guards: derive a symbolic-shape
+            :class:`~repro.fx.analysis.guards.GuardSet` per model (from
+            the first observed inputs) and key engines on the
+            guard-canonicalized signature — one engine then serves every
+            batch size its guards admit instead of one engine per shape.
+            Requests violating the guards fall back to a concrete
+            per-shape engine (always correct, just not shared).
+            Disabled automatically for sharded engines.
     """
 
     backend: str = "numpy"
@@ -89,6 +102,7 @@ class ServeConfig:
     cache_dir: Optional[str] = None
     record_batches: bool = True
     shards: int = 1
+    guards: bool = True
 
 
 @dataclass(frozen=True)
@@ -109,6 +123,10 @@ class _ModelHandle:
     #: fallback engine store for unhashable graphs: signature -> engine
     local_engines: Dict[tuple, Any] = field(default_factory=dict)
     local_lock: threading.Lock = field(default_factory=threading.Lock)
+    #: ``None`` = not derived yet; ``False`` = derivation failed or the
+    #: set is fully static (keying on it would be a no-op); else the
+    #: model's :class:`~repro.fx.analysis.guards.GuardSet`.
+    guard_set: Any = None
 
 
 class _Pending:
@@ -143,6 +161,8 @@ class InferenceServer:
         self._closed = False
         self._stats_lock = threading.Lock()
         self._requests = 0
+        self._guard_hits = 0        # forwards keyed through a GuardSet
+        self._guard_violations = 0  # forwards that violated one (concrete key)
         self._batch_log: deque = deque(maxlen=4096)
         #: sharded engines this server built/loaded — their worker pools
         #: are the server's responsibility to reap on close().
@@ -211,6 +231,8 @@ class InferenceServer:
         with self._stats_lock:
             log = list(self._batch_log)
             requests = self._requests
+            guard_hits = self._guard_hits
+            guard_violations = self._guard_violations
         batched_rows = sum(r.rows for r in log)
         return {
             "requests": requests,
@@ -218,6 +240,11 @@ class InferenceServer:
             "batched_rows": batched_rows,
             "max_batch_rows": max((r.rows for r in log), default=0),
             "mean_rows_per_batch": (batched_rows / len(log)) if log else 0.0,
+            "guard_hits": guard_hits,
+            "guard_violations": guard_violations,
+            "guarded_models": sum(
+                1 for h in self._models.values()
+                if h.guard_set not in (None, False)),
             "engine_cache": self.engine_cache.info(),
         }
 
@@ -257,8 +284,48 @@ class InferenceServer:
             return program
         return mod
 
+    def _guards_for(self, handle: _ModelHandle, inputs: tuple) -> Any:
+        """The model's GuardSet, derived lazily from the first inputs seen.
+
+        Returns the set, or ``False`` when guards are off for this model
+        (underivable, fully static, or disabled by config/sharding).
+        """
+        if not self.config.guards or self.config.shards > 1:
+            return False
+        guards = handle.guard_set
+        if guards is not None:
+            return guards
+        with handle.local_lock:
+            if handle.guard_set is not None:   # raced: someone derived it
+                return handle.guard_set
+            try:
+                from ..fx.analysis.guards import derive_guards
+
+                derived = derive_guards(handle.gm, inputs)
+            except Exception:
+                derived = None
+            # A static set admits exactly the example signature — keying
+            # on it would replicate the concrete key, so drop it.
+            if derived is None or not getattr(derived, "dynamic", False):
+                handle.guard_set = False
+            else:
+                handle.guard_set = derived
+            return handle.guard_set
+
     def _engine_for(self, handle: _ModelHandle, inputs: tuple) -> Any:
         signature = input_signature(inputs)
+        guards = self._guards_for(handle, inputs)
+        if guards is not False:
+            if guards.matches(signature):
+                signature = guards.canonicalize(signature)
+                with self._stats_lock:
+                    self._guard_hits += 1
+            else:
+                # Guard violation: keep the concrete signature, which
+                # builds (or reuses) a per-shape engine — correct, just
+                # not shared with the guarded one.
+                with self._stats_lock:
+                    self._guard_violations += 1
         if handle.graph_hash is None:
             # No stable identity: cache per handle, never on disk.
             with handle.local_lock:

@@ -41,6 +41,41 @@ class ChainModel(nn.Module):
         return t
 
 
+async def _guarded_smoke(features: int, cache_dir: str) -> dict:
+    """Guard-keyed engine sharing: several batch sizes, one engine build.
+
+    Batching is off so every request's own shape reaches the engine
+    cache — exactly the per-shape engine explosion GuardSets collapse.
+    """
+    repro.manual_seed(0)
+    model = ChainModel().eval()
+    config = ServeConfig(workers=2, batching=False, cache_dir=cache_dir)
+    batch_sizes = (4, 1, 7, 16, 2)
+    async with InferenceServer(config) as server:
+        server.register("chain", model)
+        for b in batch_sizes:
+            x = repro.randn(b, features)
+            expected = model(x).data
+            got = (await server.infer("chain", x)).data
+            if got.shape != expected.shape or \
+                    float(np.max(np.abs(got - expected))) != 0.0:
+                raise AssertionError(
+                    f"guarded engine diverged from eager at batch {b}")
+        stats = server.stats()
+    ec = stats["engine_cache"]
+    if ec["builds"] != 1:
+        raise AssertionError(
+            f"expected 1 guarded engine build for {len(batch_sizes)} batch "
+            f"sizes, got {ec['builds']}")
+    if stats["guard_hits"] < len(batch_sizes):
+        raise AssertionError(
+            f"expected >= {len(batch_sizes)} guard hits, got "
+            f"{stats['guard_hits']}")
+    if stats["guarded_models"] != 1:
+        raise AssertionError("model did not derive a dynamic GuardSet")
+    return {"stats": stats, "batch_sizes": batch_sizes}
+
+
 async def _smoke(n_requests: int, concurrency: int, features: int,
                  cache_dir: str) -> dict:
     repro.manual_seed(0)
@@ -80,13 +115,21 @@ def main(argv=None) -> int:
     ap.add_argument("--features", type=int, default=64)
     ap.add_argument("--timeout", type=float, default=120.0,
                     help="hard deadline in seconds (deadlock guard)")
+    ap.add_argument("--guarded", action="store_true",
+                    help="run the guard-keyed engine sharing smoke instead "
+                         "(several batch sizes, exactly one engine build)")
     args = ap.parse_args(argv)
 
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as d:
         try:
-            out = asyncio.run(asyncio.wait_for(
-                _smoke(args.requests, args.concurrency, args.features, d),
-                timeout=args.timeout))
+            if args.guarded:
+                out = asyncio.run(asyncio.wait_for(
+                    _guarded_smoke(args.features, d),
+                    timeout=args.timeout))
+            else:
+                out = asyncio.run(asyncio.wait_for(
+                    _smoke(args.requests, args.concurrency, args.features, d),
+                    timeout=args.timeout))
         except asyncio.TimeoutError:
             print(f"serve smoke: DEADLOCK — no completion within "
                   f"{args.timeout:.0f}s", file=sys.stderr)
@@ -95,6 +138,15 @@ def main(argv=None) -> int:
             print(f"serve smoke: FAILED — {type(exc).__name__}: {exc}",
                   file=sys.stderr)
             return 1
+    if args.guarded:
+        stats = out["stats"]
+        ec = stats["engine_cache"]
+        print(f"serve smoke (guarded): OK — batch sizes "
+              f"{list(out['batch_sizes'])} served bit-exactly by "
+              f"{ec['builds']} engine build "
+              f"({stats['guard_hits']} guard hit(s), "
+              f"{stats['guard_violations']} violation(s))")
+        return 0
     stats = out["stats"]
     ec = stats["engine_cache"]
     print(f"serve smoke: OK — {args.requests} requests "

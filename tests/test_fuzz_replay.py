@@ -64,9 +64,20 @@ class TestReplayDeterminism:
         assert a.iterations == b.iterations == 12
         assert [f.iteration for f in a.failures] == [f.iteration for f in b.failures]
 
-    def test_spec_for_iteration_covers_both_families(self):
+    def test_spec_for_iteration_covers_all_families(self):
         fams = {spec_for_iteration(0, i).family for i in range(8)}
-        assert fams == {"graph", "module"}
+        assert fams == {"graph", "module", "control_flow"}
+
+    def test_control_flow_source_deterministic(self):
+        for seed in (0, 7, 123):
+            spec = ProgramSpec(seed=seed, family="control_flow", n_ops=6)
+            a = generate_program(spec)
+            b = generate_program(spec)
+            assert a.source == b.source
+            assert len(a.alt_inputs) == len(b.alt_inputs)
+            for ba, bb in zip(a.alt_inputs, b.alt_inputs):
+                for x, y in zip(ba, bb):
+                    assert np.array_equal(x.data, y.data)
 
 
 class TestOracleAndMinimizer:

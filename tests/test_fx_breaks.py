@@ -1,0 +1,241 @@
+"""Tests for ``repro.fx.analysis.breaks`` (PR 9, GraphMend).
+
+Covers the tentpole guarantees:
+
+* **detection** — every specialization event (``bool``/``len``/``iter``/
+  ``int``/``float`` on a Proxy) surfaces as a structured ``BreakEvent``
+  with user-source provenance instead of a bare ``TraceError``;
+* **classification** — events map onto their AST construct and rank by
+  fix difficulty (repairable ``if`` < polyvariant < concretization);
+* **repair** — where-repairable ``if``\\s re-trace into a single clean
+  graph; shape/value-dependent branches capture polyvariantly, with the
+  dispatcher exact on *both* branch outcomes;
+* **the CLI** — ``python -m repro.fx.analysis breaks`` reports, ranks,
+  and gates on a committed baseline.
+"""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+import repro
+import repro.functional as F
+from repro import nn
+from repro.fx import symbolic_trace
+from repro.fx.analysis import (
+    PolyvariantModule,
+    RepairError,
+    detect_breaks,
+    mend,
+    polyvariant_trace,
+)
+from repro.fx.analysis.breaks import AUTO_FIXABLE, DIFFICULTY
+from repro.fx.graph_module import GraphModule
+from repro.fx.tracer import TraceError
+
+
+class DataIf(nn.Module):
+    """Data-dependent if, both branches a single same-name assign."""
+
+    def __init__(self):
+        super().__init__()
+        self.w = nn.Parameter(repro.randn(4))
+
+    def forward(self, x):
+        gate = x.sum()
+        if gate > 0:
+            y = x * self.w + 1.0
+        else:
+            y = x * self.w - 1.0
+        return F.tanh(y)
+
+
+class ShapeIf(nn.Module):
+    """Shape-dependent branch with multi-statement arms (polyvariant)."""
+
+    def __init__(self):
+        super().__init__()
+        self.a = nn.Parameter(repro.randn(1))
+
+    def forward(self, x):
+        if x.shape[-1] >= 4:
+            y = x * self.a
+            y = F.relu(y)
+        else:
+            y = x + self.a
+            y = F.sigmoid(y)
+        return y * 2.0
+
+
+class LoopOverProxy(nn.Module):
+    """Trip count depends on a runtime shape — a concretization loop."""
+
+    def forward(self, x):
+        for _ in range(x.shape[0]):
+            x = x + 1.0
+        return x
+
+
+class FloatIf(nn.Module):
+    """float() concretization inside an if — not auto-fixable."""
+
+    def forward(self, x):
+        h = x * 2.0
+        if float(h.sum()) > 100.0:
+            h = h * 0.5
+        return h
+
+
+class Clean(nn.Module):
+    def forward(self, x):
+        return F.relu(x) * 2.0
+
+
+class TestDetection:
+    def test_trace_error_carries_break_event(self):
+        with pytest.raises(TraceError) as ei:
+            symbolic_trace(DataIf())
+        event = getattr(ei.value, "break_event", None)
+        assert event is not None
+        assert event.kind == "bool"
+        assert event.stack  # user-code provenance recorded
+        assert any("test_fx_breaks" in fname for fname, _, _ in event.stack)
+
+    def test_detect_breaks_clean_model(self):
+        report = detect_breaks(Clean())
+        assert report.events == []
+        assert report.aborted is None
+
+    def test_detect_and_classify_data_if(self):
+        report = detect_breaks(DataIf())
+        assert len(report.events) == 1
+        (e,) = report.events
+        assert e.kind == "bool"
+        assert e.construct == "if"
+        assert e.classification == "repairable-if"
+        assert e.classification in AUTO_FIXABLE
+        assert "test_fx_breaks.py" in e.location
+        assert e.node is None  # cleared: events must stay picklable
+        pickle.dumps(e)
+
+    def test_detect_and_classify_shape_if(self):
+        report = detect_breaks(ShapeIf())
+        assert [e.classification for e in report.events] == ["polyvariant-shape"]
+
+    def test_detect_loop_concretization(self):
+        report = detect_breaks(LoopOverProxy())
+        assert len(report.events) == 1
+        assert report.events[0].classification == "concretization-loop"
+        assert report.events[0].classification not in AUTO_FIXABLE
+
+    def test_detect_float_concretization(self):
+        report = detect_breaks(FloatIf())
+        assert len(report.events) == 1
+        assert report.events[0].kind == "float"
+        assert report.events[0].classification not in AUTO_FIXABLE
+
+    def test_ranking_orders_by_difficulty(self):
+        report = detect_breaks(DataIf())
+        ranked = report.ranked()
+        diffs = [DIFFICULTY.get(e.classification, 9) for e in ranked]
+        assert diffs == sorted(diffs)
+
+    def test_report_format_mentions_source(self):
+        text = detect_breaks(DataIf()).format()
+        assert "repairable-if" in text
+        assert "test_fx_breaks.py" in text
+        assert "if gate > 0:" in text
+
+
+class TestWhereRepair:
+    def test_data_if_mends_to_single_graph(self):
+        model = DataIf().eval()
+        x = repro.randn(2, 4)
+        gm = mend(model, example_inputs=[(x,), (x * -1.0,)])
+        assert isinstance(gm, GraphModule)
+        assert gm.mended == "where"
+        # bit-exact on BOTH branch outcomes
+        for inp in (x, x * -1.0):
+            assert np.array_equal(gm(inp).numpy(), model(inp).numpy())
+
+    def test_repaired_graph_retraces_cleanly(self):
+        gm = mend(DataIf().eval(), example_inputs=(repro.randn(2, 4),))
+        gm2 = symbolic_trace(gm)
+        gm2.graph.lint()
+
+    def test_clean_model_fast_path(self):
+        gm = mend(Clean())
+        assert isinstance(gm, GraphModule)
+        assert gm.mended == "clean"
+
+
+class TestPolyvariant:
+    def test_shape_if_captures_both_outcomes(self):
+        model = ShapeIf().eval()
+        wide, narrow = repro.randn(2, 5), repro.randn(2, 3)
+        poly = mend(model, example_inputs=[(wide,), (narrow,)])
+        assert isinstance(poly, PolyvariantModule)
+        assert poly.mended == "polyvariant"
+        assert poly.num_variants == 2
+        for inp in (wide, narrow):
+            assert np.array_equal(poly(inp).numpy(), model(inp).numpy())
+        # both variants dispatched (counts include mend's validation runs)
+        assert all(c >= 1 for c in poly.dispatch_counts)
+
+    def test_polyvariant_trace_directly(self):
+        poly = polyvariant_trace(ShapeIf().eval())
+        assert sorted(poly._decisions) == [(False,), (True,)]
+
+    def test_polyvariant_pickles(self):
+        model = ShapeIf().eval()
+        poly = mend(model, example_inputs=(repro.randn(2, 5),))
+        clone = pickle.loads(pickle.dumps(poly))
+        x = repro.randn(2, 3)
+        assert np.array_equal(clone(x).numpy(), model(x).numpy())
+
+    def test_mend_refuses_concretization(self):
+        with pytest.raises(RepairError):
+            mend(LoopOverProxy())
+        with pytest.raises(RepairError):
+            mend(FloatIf())
+
+
+class TestBreaksCLI:
+    def _run(self, argv):
+        from repro.fx.analysis.__main__ import main
+
+        return main(argv)
+
+    def test_cli_reports_and_gates(self, capsys):
+        rc = self._run(["breaks", "tests/test_fx_breaks.py:DataIf"])
+        out = capsys.readouterr().out
+        assert rc == 0  # repairable-if is auto-fixable: not a failure
+        assert "repairable-if" in out
+
+    def test_cli_fails_on_unbaselined_hard_break(self, capsys):
+        rc = self._run(["breaks", "tests/test_fx_breaks.py:FloatIf"])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "non-auto-fixable" in err
+
+    def test_cli_baseline_roundtrip(self, tmp_path, capsys):
+        baseline = str(tmp_path / "baseline.json")
+        rc = self._run(["breaks", "tests/test_fx_breaks.py:FloatIf",
+                        "--baseline", baseline, "--update-baseline"])
+        assert rc == 0
+        data = json.loads(open(baseline).read())
+        assert list(data) == ["tests/test_fx_breaks.py:FloatIf"]
+        capsys.readouterr()
+        # Same break again: baselined, so the gate passes.
+        rc = self._run(["breaks", "tests/test_fx_breaks.py:FloatIf",
+                        "--baseline", baseline])
+        assert rc == 0
+
+    def test_cli_json_output(self, capsys):
+        rc = self._run(["breaks", "tests/test_fx_breaks.py:ShapeIf", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        events = payload["tests/test_fx_breaks.py:ShapeIf"]["events"]
+        assert events[0]["classification"] == "polyvariant-shape"

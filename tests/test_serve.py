@@ -14,7 +14,11 @@ Covers the tentpole guarantees end to end:
 * **cold-start load-not-recompile** — a fresh server over a warm cache
   directory serves from disk (``disk_hits``) with zero builds, and a
   stale or corrupted artifact is a counted miss that rebuilds, never
-  wrong code.
+  wrong code;
+* **guard-keyed engines (PR 9)** — a per-model symbolic-shape
+  ``GuardSet`` canonicalizes dynamic dims out of the engine key, so one
+  engine build serves every admissible batch size; guard violations are
+  counted and rebuild concrete per-shape engines.
 """
 
 import asyncio
@@ -613,3 +617,90 @@ class TestShardedServing:
                                    atol=1e-6)
 
         run(go())
+
+
+# -- guard-keyed engines (PR 9) -------------------------------------------------
+
+
+class TestGuardKeyedEngines:
+    """Symbolic-shape guards collapse per-shape engines: one engine serves
+    every batch size its GuardSet admits, violations rebuild concretely."""
+
+    def test_many_batch_sizes_one_engine_build(self):
+        async def go():
+            model = SmallMLP().eval()
+            async with make_server(batching=False, workers=2) as server:
+                server.register("mlp", model)
+                for b in (4, 1, 7, 16):
+                    x = repro.randn(b, 8)
+                    out = await server.infer("mlp", x)
+                    exp = model(x)
+                    assert out.data.shape == exp.data.shape
+                    assert float(np.abs(out.data - exp.data).max()) == 0.0
+                return server.stats()
+
+        stats = run(go())
+        assert stats["engine_cache"]["builds"] == 1
+        assert stats["guard_hits"] >= 4
+        assert stats["guard_violations"] == 0
+        assert stats["guarded_models"] == 1
+
+    def test_guard_violation_falls_back_to_correct_rebuild(self):
+        """Pointwise works at any width, but guards derived from the first
+        request pin dim 1 — a different width is a counted violation that
+        rebuilds a concrete per-shape engine with correct results."""
+        async def go():
+            model = Pointwise().eval()
+            async with make_server(batching=False, workers=2) as server:
+                server.register("pw", model)
+                a = repro.randn(4, 8)
+                out = await server.infer("pw", a)
+                assert float(np.abs(out.data - model(a).data).max()) == 0.0
+                b = repro.randn(4, 16)  # violates the C == 8 guard
+                out2 = await server.infer("pw", b)
+                assert float(np.abs(out2.data - model(b).data).max()) == 0.0
+                c = repro.randn(9, 8)   # satisfies guards: shared engine
+                out3 = await server.infer("pw", c)
+                assert float(np.abs(out3.data - model(c).data).max()) == 0.0
+                return server.stats()
+
+        stats = run(go())
+        assert stats["guard_violations"] == 1
+        assert stats["guard_hits"] == 2
+        assert stats["engine_cache"]["builds"] == 2  # guarded + concrete
+
+    def test_guards_disabled_builds_per_shape(self):
+        async def go():
+            model = SmallMLP().eval()
+            async with make_server(batching=False, workers=2,
+                                   guards=False) as server:
+                server.register("mlp", model)
+                for b in (4, 1, 7):
+                    await server.infer("mlp", repro.randn(b, 8))
+                return server.stats()
+
+        stats = run(go())
+        assert stats["engine_cache"]["builds"] == 3
+        assert stats["guard_hits"] == 0
+        assert stats["guarded_models"] == 0
+
+    def test_guarded_engine_shared_across_cold_start(self, tmp_path):
+        """The canonicalized signature is the disk key too: a cold process
+        serving a *different* batch size loads the warm engine."""
+        async def go(batch):
+            repro.manual_seed(3)
+            model = SmallMLP().eval()
+            async with InferenceServer(ServeConfig(
+                    workers=2, batching=False,
+                    cache_dir=str(tmp_path))) as server:
+                server.register("mlp", model)
+                x = repro.randn(batch, 8)
+                out = await server.infer("mlp", x)
+                assert float(np.abs(out.data - model(x).data).max()) == 0.0
+                return server.stats()["engine_cache"]
+
+        first = run(go(4))
+        assert first["builds"] == 1
+        second = run(go(7))  # new process ⇒ same canonical key, from disk
+        assert second["builds"] == 0
+        assert second["disk_hits"] == 1

@@ -229,3 +229,165 @@ class TestDecoderShapes:
         gm = symbolic_trace(decoder)
         out = SymbolicShapeProp(gm).propagate(SymShape((N, 8, 8, 8)))
         assert out == SymShape((N, 1, 32, 32))
+
+
+class TestCeilDivAndPooling:
+    """ceil_mode pooling arithmetic and the floordiv edge cases behind it
+    (PR 9: guard derivation leans on these transfer functions)."""
+
+    def test_ceil_div_constants(self):
+        from repro.fx.passes.symbolic_shape_prop import ceil_div
+
+        assert ceil_div(7, 2) == 4
+        assert ceil_div(8, 2) == 4
+        assert ceil_div(1, 3) == 1
+
+    def test_ceil_div_symbolic_exact(self):
+        from repro.fx.passes.symbolic_shape_prop import ceil_div
+
+        e = SymExpr.of(ceil_div(N * 4, 2))
+        assert e == N * 2
+
+    def test_ceil_div_residue_dependent_raises(self):
+        from repro.fx.passes.symbolic_shape_prop import ceil_div
+
+        # ceil(N/2) depends on N's parity: outside the linear fragment.
+        with pytest.raises(ShapeInferenceError):
+            ceil_div(SymExpr.of(N), 2)
+
+    def test_ceil_div_rejects_bad_divisor(self):
+        from repro.fx.passes.symbolic_shape_prop import ceil_div
+
+        with pytest.raises(ShapeInferenceError):
+            ceil_div(N * 2, 0)
+
+    def test_maxpool_ceil_mode_shapes(self):
+        """ceil_mode=True rounds the output size up: 7x7 / pool 2 -> 4x4
+        (vs 3x3 with the default floor)."""
+        floor_pool = symbolic_trace(
+            nn.Sequential(nn.MaxPool2d(2, stride=2)).eval())
+        out = SymbolicShapeProp(floor_pool).propagate(SymShape((N, 3, 7, 7)))
+        assert out == SymShape((N, 3, 3, 3))
+
+        ceil_pool = nn.Sequential(nn.MaxPool2d(2, stride=2)).eval()
+        ceil_pool[0].ceil_mode = True
+        out = SymbolicShapeProp(symbolic_trace(ceil_pool)).propagate(
+            SymShape((N, 3, 7, 7)))
+        assert out == SymShape((N, 3, 4, 4))
+
+    def test_avgpool_floor_division_symbolic_spatial(self):
+        H = SymDim("H")
+        gm = symbolic_trace(nn.Sequential(nn.AvgPool2d(2, stride=2)).eval())
+        # H must be provably even for floor((H - 2)/2 + 1) to stay linear.
+        out = SymbolicShapeProp(gm).propagate(SymShape((1, 3, H * 2, 8)))
+        _, _, h, w = out
+        assert SymExpr.of(h).substitute({"H": 4}).as_int() == 4
+        assert SymExpr.of(w).as_int() == 4
+
+    def test_unknown_parity_pooling_raises(self):
+        H = SymDim("H")
+        gm = symbolic_trace(nn.Sequential(nn.AvgPool2d(2, stride=2)).eval())
+        # floor((H - 2)/2) depends on H's parity — outside the fragment.
+        with pytest.raises(ShapeInferenceError):
+            SymbolicShapeProp(gm).propagate(SymShape((1, 3, H, 8)))
+
+
+class TestSymbolicBroadcastBothSides:
+    def test_same_symbol_both_sides(self):
+        def f(x, y):
+            return x * y
+
+        gm = symbolic_trace(f)
+        out = SymbolicShapeProp(gm).propagate(
+            SymShape((N, 4)), SymShape((N, 4)))
+        assert out == SymShape((N, 4))
+
+    def test_symbol_vs_one_broadcasts(self):
+        def f(x, y):
+            return x + y
+
+        M = SymDim("M")
+        gm = symbolic_trace(f)
+        out = SymbolicShapeProp(gm).propagate(
+            SymShape((N, 1, 4)), SymShape((1, M, 4)))
+        assert out == SymShape((N, M, 4))
+
+    def test_distinct_symbols_same_dim_raise(self):
+        def f(x, y):
+            return x + y
+
+        M = SymDim("M")
+        gm = symbolic_trace(f)
+        # N vs M on one axis: equal only for some bindings — must refuse,
+        # not silently pick a side.
+        with pytest.raises(ShapeInferenceError):
+            SymbolicShapeProp(gm).propagate(SymShape((N, 4)), SymShape((M, 4)))
+
+
+class TestReshapeTotality:
+    """The PR-9 soundness fix: reshape transfer must verify element-count
+    equality for every symbol binding, not just echo the target."""
+
+    def test_concrete_target_on_symbolic_input_raises(self):
+        def f(x):
+            return x.reshape(8, 4)
+
+        gm = symbolic_trace(f)
+        with pytest.raises(ShapeInferenceError, match="element"):
+            SymbolicShapeProp(gm).propagate(SymShape((N, 8)))
+
+    def test_inexact_minus_one_raises(self):
+        def f(x):
+            return x.reshape(3, -1)
+
+        gm = symbolic_trace(f)
+        with pytest.raises(ShapeInferenceError):
+            SymbolicShapeProp(gm).propagate(SymShape((N, 8)))
+
+    def test_exact_minus_one_infers(self):
+        def f(x):
+            return x.reshape(-1, 4)
+
+        gm = symbolic_trace(f)
+        out = SymbolicShapeProp(gm).propagate(SymShape((N, 8)))
+        assert out == SymShape((N * 2, 4))
+
+    def test_concrete_reshape_still_checks_counts(self):
+        def f(x):
+            return x.reshape(4, 4)
+
+        gm = symbolic_trace(f)
+        out = SymbolicShapeProp(gm).propagate(SymShape((2, 8)))
+        assert out == SymShape((4, 4))
+        with pytest.raises(ShapeInferenceError):
+            SymbolicShapeProp(gm).propagate(SymShape((2, 9)))
+
+
+class TestSubstituteRoundTrips:
+    """Guard reports bind symbols back to concrete sizes; substitution
+    over the propagated output must agree with concrete propagation."""
+
+    def test_cnn_output_substitutes_to_concrete_run(self):
+        model = SimpleCNN().eval()
+        gm = symbolic_trace(model)
+        out = SymbolicShapeProp(gm).propagate(SymShape((N, 3, 32, 32)))
+        for batch in (1, 2, 5):
+            sub = out.substitute({"N": batch})
+            assert sub.is_concrete()
+            concrete = model(repro.randn(batch, 3, 32, 32)).shape
+            assert tuple(int(d) for d in sub) == tuple(concrete)
+
+    def test_partial_substitution_keeps_free_symbols(self):
+        M = SymDim("M")
+        shape = SymShape((N, M, 8))
+        half = shape.substitute({"N": 3})
+        assert half[0] == 3
+        assert SymExpr.of(half[1]).free_symbols() == {"M"}
+        full = half.substitute({"M": 5})
+        assert full.is_concrete()
+        assert full == SymShape((3, 5, 8))
+
+    def test_expr_substitute_identity(self):
+        e = (N * 4 + 2) // 2
+        for v in (1, 3, 10):
+            assert e.substitute({"N": v}).as_int() == (v * 4 + 2) // 2
