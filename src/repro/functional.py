@@ -95,6 +95,17 @@ def matmul(a, b):
 
 
 @dispatchable
+def addmm(bias, a, b):
+    """``a @ b + bias`` as one call (torch-style fused matmul-add).
+
+    Computed exactly as matmul-then-add, so rewriting
+    ``matmul(a, b) + bias`` into ``addmm(bias, a, b)`` is bit-exact.
+    """
+    return Tensor._wrap(
+        np.asarray(np.add(np.matmul(_unwrap(a), _unwrap(b)), _unwrap(bias))))
+
+
+@dispatchable
 def mm(a, b):
     a, b = _unwrap(a), _unwrap(b)
     if a.ndim != 2 or b.ndim != 2:

@@ -32,6 +32,7 @@ from ..passes import (
 from ..passes.memory_planner import MemoryPlan, plan_memory
 from ..passes.pointwise_fuser import fuse_pointwise
 from ..passes.shape_prop import ShapeProp
+from ..rules.engine import apply_default_rules
 from .base import Backend
 
 __all__ = ["NumpyBackend"]
@@ -46,6 +47,9 @@ class NumpyBackend(Backend):
             without them (generic cleanups still run).
         fuse: enable pointwise-region fusion.
         memory_planning: enable arena planning of fused intermediates.
+        rules: enable the declarative rewrite-rule stage (the bit-exact
+            ``repro.fx.rules`` stdlib, applied to fixpoint with a
+            per-firing verifier).
 
     After :func:`~repro.fx.backends.to_backend` runs, ``plans`` holds the
     :class:`~repro.fx.passes.memory_planner.MemoryPlan` if one was made.
@@ -56,10 +60,12 @@ class NumpyBackend(Backend):
     respects_effects = True  # same substrate as eager: mutation replays
 
     def __init__(self, example_inputs: Sequence = (), *,
-                 fuse: bool = True, memory_planning: bool = True):
+                 fuse: bool = True, memory_planning: bool = True,
+                 rules: bool = True):
         self.example_inputs = tuple(example_inputs)
         self.fuse = fuse
         self.memory_planning = memory_planning
+        self.rules = rules
         self.plans: list[MemoryPlan] = []
 
     def is_node_supported(self, node: Node, modules) -> bool:
@@ -97,6 +103,10 @@ class NumpyBackend(Backend):
             ("cse", eliminate_common_subexpressions),
             ("const_fold", fold_constants),
         ]
+        if self.rules:
+            # Module-level pass: the transform cache keys it by qualname,
+            # so warm recompiles replay the whole rule stage cache-hit.
+            stages.append(("rules", apply_default_rules))
         if not gm.training:
             # fuse_conv_bn refuses training-mode modules (running stats
             # would diverge); skip it rather than fail the pipeline.

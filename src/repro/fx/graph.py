@@ -41,6 +41,19 @@ class UnstableHashError(ValueError):
     """
 
 
+class _NodeRef:
+    """Pickle placeholder for a Node inside args/kwargs/meta: an index
+    into the graph's topological node order (see ``Graph.__getstate__``)."""
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def __reduce__(self):
+        return (_NodeRef, (self.index,))
+
+
 @dataclass
 class PythonCode:
     """The result of code generation.
@@ -189,15 +202,68 @@ class Graph:
         self.owning_module: Optional["GraphModule"] = None
 
     def __getstate__(self):
-        # owning_module back-reference would create a reduce-argument cycle
-        # when pickling a GraphModule; it is reattached by the graph
-        # property setter on load.
-        state = dict(self.__dict__)
-        state["owning_module"] = None
-        return state
+        # Nodes are threaded on a doubly-linked list and reference each
+        # other through args/kwargs/users, so letting pickle walk the
+        # object graph recurses once per node — a few-hundred-node chain
+        # blows the interpreter recursion limit.  Serialize flat instead:
+        # one record per node in topological order, with Node references
+        # inside args/kwargs/meta encoded as indices into that order.
+        # (owning_module is dropped for the same reason as before: the
+        # back-reference would create a reduce-argument cycle when
+        # pickling a GraphModule; the graph property setter reattaches it.)
+        nodes = list(self.nodes)
+        index = {n: i for i, n in enumerate(nodes)}
+
+        def encode(a):
+            return map_aggregate(
+                a, lambda x: _NodeRef(index[x])
+                if isinstance(x, Node) and x in index else x)
+
+        records = [
+            (n.name, n.op, n.target, encode(n._args), encode(n._kwargs),
+             n.type, encode(n.meta))
+            for n in nodes
+        ]
+        extra = {
+            k: v for k, v in self.__dict__.items()
+            if k not in ("_root", "_insert_before", "owning_module", "_len")
+        }
+        return {
+            "flat_nodes": records,
+            "insert_before": index.get(self._insert_before),
+            "extra": extra,
+        }
 
     def __setstate__(self, state):
-        self.__dict__.update(state)
+        if "flat_nodes" not in state:  # legacy recursive pickles
+            self.__dict__.update(state)
+            return
+        self.__dict__.update(state["extra"])
+        self._root = Node.__new__(Node)
+        self._root._prev = self._root._next = self._root
+        self._root._erased = False
+        self._root.name = "__ROOT__"
+        self._insert_before = self._root
+        self._len = 0
+        self.owning_module = None
+        nodes = []
+        for name, op, target, _args, _kwargs, type_expr, _meta in state["flat_nodes"]:
+            node = Node(self, name, op, target, (), {}, type_expr)
+            self._insert_before.prepend(node)
+            self._len += 1
+            nodes.append(node)
+
+        def decode(a):
+            return map_aggregate(
+                a, lambda x: nodes[x.index] if isinstance(x, _NodeRef) else x)
+
+        for node, (_, _, _, args, kwargs, _, meta) in zip(nodes, state["flat_nodes"]):
+            node.args = decode(args)
+            node.kwargs = decode(kwargs)
+            node.meta = decode(meta)
+        insert = state["insert_before"]
+        if insert is not None:
+            self._insert_before = nodes[insert]
 
     # -- node access -----------------------------------------------------------
 

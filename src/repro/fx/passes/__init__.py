@@ -32,6 +32,7 @@ from .pass_manager import (
     PassManagerResult,
     PassRecord,
     TransformCache,
+    Unchanged,
     shared_transform_cache,
 )
 from .profiler import NodeProfile, ProfileReport, ProfilingInterpreter, profile
@@ -98,6 +99,7 @@ __all__ = [
     "ProfileReport",
     "ProfilingInterpreter",
     "TransformCache",
+    "Unchanged",
     "shared_transform_cache",
     "profile",
     "profiler",

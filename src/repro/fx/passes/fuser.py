@@ -58,6 +58,12 @@ def fuse_conv_bn(model, inplace: bool = False) -> GraphModule:
     Only valid for inference: the model must be in ``eval()`` mode, since
     training-mode BN uses batch statistics that cannot be folded ahead of
     time.
+
+    Thin wrapper: the traversal and legality checks live in the
+    declarative :data:`repro.fx.rules.library.CONV_BN_RULE` (the
+    conv-feeds-only-the-BN guard is the matcher's escape rejection, the
+    eval-mode requirement is a rule precondition); only the weight-fold
+    math above is specific to this pass.
     """
     gm = model if isinstance(model, GraphModule) else symbolic_trace(model)
     if gm.training:
@@ -65,36 +71,9 @@ def fuse_conv_bn(model, inplace: bool = False) -> GraphModule:
             "conv-bn fusion requires eval mode; call model.eval() first "
             "(training-mode BN uses batch statistics)"
         )
-    modules = dict(gm.named_modules())
-    for node in list(gm.graph.nodes):
-        if node.op != "call_module" or not isinstance(modules.get(node.target), BatchNorm2d):
-            continue
-        if len(node.args) != 1 or not hasattr(node.args[0], "op"):
-            continue
-        conv_node = node.args[0]
-        if conv_node.op != "call_module" or not isinstance(
-            modules.get(conv_node.target), Conv2d
-        ):
-            continue
-        # The conv output must feed only this BN, otherwise other users
-        # would observe the un-normalized value.
-        if len(conv_node.users) > 1:
-            continue
-        conv = modules[conv_node.target]
-        bn = modules[node.target]
-        fused = fuse_conv_bn_weights(conv, bn)
-        _replace_module(gm, conv_node.target, fused)
-        modules[conv_node.target] = fused
-        node.replace_all_uses_with(conv_node)
-        gm.graph.erase_node(node)
-        gm.delete_submodule(node.target)
+    from ..rules.library import conv_bn_ruleset
+
+    conv_bn_ruleset().apply(gm, verify=False)
     gm.graph.lint()
     gm.recompile()
-    gm.delete_all_unused_submodules()
     return gm
-
-
-def _replace_module(gm: GraphModule, target: str, new_module) -> None:
-    prefix, _, leaf = target.rpartition(".")
-    parent = gm.get_submodule(prefix)
-    setattr(parent, leaf, new_module)

@@ -53,6 +53,7 @@ __all__ = [
     "PassManagerResult",
     "PassRecord",
     "TransformCache",
+    "Unchanged",
     "shared_transform_cache",
 ]
 
@@ -61,6 +62,23 @@ Pass = Callable[[GraphModule], Any]
 
 class PassError(RuntimeError):
     """A pass (or its post-pass lint) failed; names the offending pass."""
+
+
+class Unchanged:
+    """Wrapper a pass may return to certify it did not modify the module.
+
+    ``PassManager`` then skips the post-pass structural hash, lint,
+    verification, and cache store for that stage — on large modules the
+    hash alone (it covers parameter bytes) can dwarf a no-op pass.  Only
+    return this when *nothing* observable changed: graph topology, node
+    metadata, and module state all carry over as-is, so every invariant
+    established for the pass's input still holds for its output.
+    """
+
+    __slots__ = ("graph_module",)
+
+    def __init__(self, graph_module: GraphModule):
+        self.graph_module = graph_module
 
 
 @dataclass
@@ -411,6 +429,19 @@ class PassManager:
                 f"pass {index} ({name!r}) failed on a graph with "
                 f"{nodes_before} nodes: {type(exc).__name__}: {exc}"
             ) from exc
+        if isinstance(out, Unchanged):
+            # The pass certifies a no-op: the input's hash, lint status,
+            # and verifier baseline all remain valid, so skip the
+            # (potentially expensive) post-pass bookkeeping entirely.
+            gm = out.graph_module
+            return gm, PassRecord(
+                name=name,
+                wall_time=time.perf_counter() - start,
+                nodes_before=nodes_before,
+                nodes_after=len(gm.graph),
+                input_hash=input_hash or "",
+                output_hash=input_hash or "",
+            )
         if isinstance(out, GraphModule):
             gm = out
         linted = False

@@ -64,6 +64,7 @@ import numpy as np
 from ...tensor import Tensor
 from ..graph_module import GraphModule
 from ..node import Node
+from ..rules.patterns import OpPattern, PatternIndex
 from .shape_prop import TensorMetadata
 
 __all__ = [
@@ -175,12 +176,24 @@ _SELU_ALPHA, _SELU_SCALE = 1.6732632423543772, 1.0507009873554805
 #: expression so fused results match eager bitwise.
 _REGISTRY: dict[str, OpDef] = {}
 
-#: call_function target -> registry key
-_FUNCTION_TARGETS: dict[Any, str] = {}
-#: call_method name -> registry key
-_METHOD_TARGETS: dict[str, str] = {}
-#: call_module type -> (module) -> (key, params dict)
-_MODULE_TARGETS: dict[type, Callable[[Any], tuple[str, dict]]] = {}
+#: spelling -> (key, params) resolution, shared idiom with the declarative
+#: rule engine (:mod:`repro.fx.rules.patterns`).
+_PATTERN_INDEX = PatternIndex()
+
+
+def _module_extract(extractors: dict):
+    """Adapt the ``{module_type: extractor}`` convention onto
+    :class:`OpPattern.extract` — exact-type lookup (a subclass may change
+    numerics, so it must register itself explicitly)."""
+    def extract(node: Node, mod: Any) -> Optional[dict]:
+        if mod is None:  # function/method spelling: params come from args
+            return {}
+        ex = extractors.get(type(mod))
+        if ex is None:
+            return None
+        _key, params = ex(mod)
+        return params
+    return extract
 
 
 def register_pointwise_op(opdef: OpDef, functions: tuple = (),
@@ -195,12 +208,14 @@ def register_pointwise_op(opdef: OpDef, functions: tuple = (),
             returns ``(key, params)`` for a ``call_module`` of that type.
     """
     _REGISTRY[opdef.key] = opdef
-    for fn in functions:
-        _FUNCTION_TARGETS[fn] = opdef.key
-    for m in methods:
-        _METHOD_TARGETS[m] = opdef.key
-    for cls, extractor in (modules or {}).items():
-        _MODULE_TARGETS[cls] = extractor
+    extractors = dict(modules or {})
+    _PATTERN_INDEX.add(OpPattern(
+        key=opdef.key,
+        functions=tuple(functions),
+        methods=tuple(methods),
+        module_types=tuple(extractors),
+        extract=_module_extract(extractors) if extractors else None,
+    ))
 
 
 def pointwise_registry() -> dict[str, OpDef]:
@@ -554,29 +569,23 @@ def _bind(opdef: OpDef, args: tuple, kwargs: dict) -> Optional[_Match]:
 
 
 def _match_node(node: Node, gm: GraphModule) -> Optional[_Match]:
-    if node.op == "call_function":
-        key = _FUNCTION_TARGETS.get(node.target)
-        if key is None:
-            return None
-        return _bind(_REGISTRY[key], node.args, node.kwargs)
-    if node.op == "call_method":
-        key = _METHOD_TARGETS.get(node.target)
-        if key is None:
-            return None
-        # `self` is the first tensor operand.
-        return _bind(_REGISTRY[key], node.args, node.kwargs)
+    modules = None
     if node.op == "call_module":
+        if node.kwargs or len(node.args) != 1:
+            return None
         try:
-            mod = gm.get_submodule(node.target)
+            modules = {node.target: gm.get_submodule(node.target)}
         except Exception:
             return None
-        extractor = _MODULE_TARGETS.get(type(mod))
-        if extractor is None or node.kwargs or len(node.args) != 1:
-            return None
-        key, params = extractor(mod)
-        opdef = _REGISTRY[key]
-        return _bind(opdef, tuple(node.args), params)
-    return None
+    resolved = _PATTERN_INDEX.match(node, modules)
+    if resolved is None:
+        return None
+    key, mod_params = resolved
+    if node.op == "call_module":
+        return _bind(_REGISTRY[key], tuple(node.args), mod_params)
+    # function/method spelling: `self` is the first tensor operand and
+    # immediates come straight from the call site.
+    return _bind(_REGISTRY[key], node.args, node.kwargs)
 
 
 def _leaf_meta(node: Node) -> Optional[TensorMetadata]:

@@ -1,0 +1,59 @@
+"""repro.fx.rules — declarative rewrite rules (Optimus-style).
+
+A rewrite is data, not a pass module: a pattern graph, a replacement
+graph (or a state-touching rewrite callback), analysis-backed
+preconditions, and per-placeholder constraints — compiled onto
+:class:`repro.fx.subgraph_rewriter.SubgraphMatcher` and batch-applied by
+:class:`RuleSet` under a firing budget with a per-firing
+:class:`~repro.fx.analysis.PassVerifier`.
+
+Authoring a rule is a ~5-line diff::
+
+    import repro
+    from repro.fx.rules import register_rule
+
+    @register_rule(example=lambda: (repro.randn(4, 4),))
+    def relu_relu(x):
+        "relu is idempotent."
+        return repro.relu(repro.relu(x)), repro.relu(x)
+
+The carried ``example`` makes the registry self-testing:
+``python -m repro.fx.rules selftest`` re-validates every rule (pattern
+fires, verifier clean, output bit-exact for ``exact`` rules).
+
+The bit-exact stdlib (:mod:`.stdlib`) is applied automatically as the
+``rules`` stage of ``fx.compile``/``to_backend`` (see
+:func:`default_ruleset` / :func:`apply_default_rules`); module-pattern
+ports (conv-bn) live in :mod:`.library`.  The stdlib and library are
+imported lazily — pulling in this package does not trace several dozen
+patterns at import time.
+"""
+
+from .engine import (
+    RuleApplyReport,
+    RuleContext,
+    RuleSet,
+    RuleStats,
+    SelftestResult,
+    apply_default_rules,
+    default_ruleset,
+    selftest_all,
+    selftest_rule,
+)
+from .patterns import OpPattern, PatternIndex
+from .rule import (
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+    register_rule,
+    rules_with_tag,
+)
+
+__all__ = [
+    "Rule", "RuleSet", "RuleStats", "RuleApplyReport", "RuleContext",
+    "OpPattern", "PatternIndex",
+    "register", "register_rule", "get_rule", "all_rules", "rules_with_tag",
+    "default_ruleset", "apply_default_rules",
+    "SelftestResult", "selftest_rule", "selftest_all",
+]

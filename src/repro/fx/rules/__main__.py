@@ -1,0 +1,76 @@
+"""CLI: ``python -m repro.fx.rules {selftest,list}``.
+
+``selftest`` validates every registered rule against its carried example
+(pattern fires, per-firing verifier clean, output bit-exact for exact
+rules) and exits non-zero on any failure — CI runs it next to the fuzz
+and lint gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _load_registry():
+    from . import stdlib, library  # noqa: F401 - registration side effect
+    try:
+        from ...quant import quantize_fx  # noqa: F401
+    except Exception:
+        pass
+    from .rule import all_rules
+    return all_rules()
+
+
+def cmd_selftest(args) -> int:
+    from .engine import selftest_rule
+    rules = _load_registry()
+    if args.rule:
+        rules = [r for r in rules if r.name in set(args.rule)]
+        missing = set(args.rule) - {r.name for r in rules}
+        if missing:
+            print(f"unknown rule(s): {sorted(missing)}", file=sys.stderr)
+            return 2
+    results = [selftest_rule(r) for r in rules]
+    for res in results:
+        print(res)
+    failed = [r for r in results if not r.ok]
+    print(f"\n{len(results) - len(failed)}/{len(results)} rules passed selftest")
+    return 1 if failed else 0
+
+
+def cmd_list(args) -> int:
+    rules = _load_registry()
+    if args.tag:
+        rules = [r for r in rules if args.tag in r.tags]
+    for r in rules:
+        kind = "rewrite" if r.rewrite is not None else "replace"
+        exact = "exact" if r.exact else "approx"
+        tags = ",".join(sorted(r.tags))
+        print(f"{r.name:32s} {kind:8s} {exact:7s} [{tags}] {r.doc}")
+    print(f"\n{len(rules)} rule(s) registered")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fx.rules",
+        description="Inspect and validate the declarative rewrite-rule registry.")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_self = sub.add_parser(
+        "selftest", help="validate every rule against its carried example")
+    p_self.add_argument("rule", nargs="*",
+                        help="restrict to these rule names (default: all)")
+    p_self.set_defaults(fn=cmd_selftest)
+
+    p_list = sub.add_parser("list", help="print the registry")
+    p_list.add_argument("--tag", help="only rules carrying this tag")
+    p_list.set_defaults(fn=cmd_list)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

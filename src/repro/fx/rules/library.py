@@ -1,0 +1,104 @@
+"""Module-pattern rules ported from hand-written passes.
+
+The conv–BatchNorm fusion (§6.2.2) lives here as a declarative rule: the
+pattern is ``any_module(BatchNorm2d, any_module(Conv2d, x))`` and the
+replacement is a *rewrite callback* (the fold touches module state —
+weights — which a pure replacement graph cannot express).  The weight
+math itself stays in :func:`repro.fx.passes.fuser.fuse_conv_bn_weights`;
+``fuse_conv_bn`` is now a thin wrapper applying this rule.
+
+The legality checks the old pass hand-rolled fall out of the engine:
+
+* "conv output feeds only this BN" is the matcher's interior-escape
+  rejection;
+* "eval mode only" is a precondition (training-mode BN also classifies
+  as ``MUTATES_STATE``, so :func:`~.preconditions.pure_interior` would
+  refuse it independently);
+* dead BN submodules are garbage-collected by ``RuleSet.apply``.
+"""
+
+from __future__ import annotations
+
+import repro
+from ...nn import BatchNorm2d, Conv2d, Module
+
+from ..graph import Graph
+from ..subgraph_rewriter import any_module
+from .engine import RuleSet
+from .rule import Rule, register
+
+__all__ = ["CONV_BN_RULE", "conv_bn_ruleset"]
+
+
+def _build_pattern() -> tuple[Graph, object, object]:
+    g = Graph()
+    x = g.placeholder("x")
+    conv = g.call_function(any_module, (Conv2d, x))
+    bn = g.call_function(any_module, (BatchNorm2d, conv))
+    g.output(bn)
+    return g, conv, bn
+
+
+_PATTERN, _CONV_PN, _BN_PN = _build_pattern()
+
+
+def _eval_mode(gm, match, ctx) -> bool:
+    """Folding uses running statistics; a training-mode BN (or module)
+    must keep updating them, so the rule may not fire."""
+    if gm.training:
+        return False
+    bn = gm.get_submodule(match.nodes_map[_BN_PN].target)
+    conv = gm.get_submodule(match.nodes_map[_CONV_PN].target)
+    return (not bn.training and not conv.training
+            and bn.running_mean is not None and bn.running_var is not None)
+
+
+def _rewrite_conv_bn(gm, match):
+    from ..passes.fuser import fuse_conv_bn_weights
+
+    conv_node = match.nodes_map[_CONV_PN]
+    bn_node = match.nodes_map[_BN_PN]
+    conv = gm.get_submodule(conv_node.target)
+    bn = gm.get_submodule(bn_node.target)
+    fused = fuse_conv_bn_weights(conv, bn)
+    prefix, _, leaf = conv_node.target.rpartition(".")
+    setattr(gm.get_submodule(prefix), leaf, fused)
+    # The re-parameterized conv node *is* the replacement value; the BN
+    # node loses its users and is erased by the engine, and the dead BN
+    # submodule is dropped in the apply's module GC.
+    return conv_node
+
+
+def _example_factory():
+    class ConvBN(Module):
+        def __init__(self):
+            super().__init__()
+            self.conv = Conv2d(3, 8, 3, padding=1)
+            self.bn = BatchNorm2d(8)
+
+        def forward(self, x):
+            return self.bn(self.conv(x))
+
+    m = ConvBN().eval()
+    # Non-trivial running stats so the fold actually transforms weights.
+    m.bn.running_mean.data[:] = repro.randn(8).numpy() * 0.1
+    m.bn.running_var.data[:] = 1.0 + repro.rand(8).numpy()
+    return m, (repro.randn(2, 3, 8, 8),)
+
+
+CONV_BN_RULE = register(Rule(
+    name="conv_bn_fuse",
+    pattern=_PATTERN,
+    rewrite=_rewrite_conv_bn,
+    preconditions=(_eval_mode,),
+    example_factory=_example_factory,
+    # Folding the affine transform into the weights re-rounds them; the
+    # result is allclose, not bit-identical, hence not in the default set.
+    exact=False,
+    tags=("fusion", "modules"),
+    doc="Fold an eval-mode Conv2d -> BatchNorm2d pair into one Conv2d.",
+))
+
+
+def conv_bn_ruleset() -> RuleSet:
+    return RuleSet([CONV_BN_RULE], name="conv_bn")

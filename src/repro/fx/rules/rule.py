@@ -1,0 +1,261 @@
+"""Rule definition and registry: rewrite rules as data.
+
+A :class:`Rule` is a pattern graph, a replacement (a graph, or a rewrite
+callback for rules that must touch module state), analysis-backed
+preconditions, and per-placeholder constraints — plus a carried example,
+so every registered rule is self-testing (``python -m repro.fx.rules
+selftest``).
+
+The primary authoring surface is the paired-trace DSL: one function
+returns ``(pattern_expr, replacement_expr)``, is traced once, and is
+split into two graphs sharing placeholders positionally::
+
+    @register_rule(example=lambda: (repro.randn(4, 4),))
+    def mul_one(x):
+        "x * 1 is x."
+        return x * 1, x
+
+Tracing both halves in one function guarantees they agree on arguments
+and use the exact spellings the tracer produces — a rule can never drift
+out of sync with the IR it rewrites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..graph import Graph
+from ..node import Node, map_arg
+from ..subgraph_rewriter import SubgraphMatcher
+from ..tracer import symbolic_trace
+
+__all__ = [
+    "Rule", "register_rule", "register", "get_rule", "all_rules",
+    "rules_with_tag", "clear_registry",
+]
+
+
+@dataclass
+class Rule:
+    """One declarative rewrite rule.
+
+    Attributes:
+        name: unique registry key.
+        pattern: the subgraph to find (its output node(s) anchor the match).
+        replacement: graph spliced in place of the match (placeholders
+            bind positionally to the pattern's).  ``None`` iff *rewrite*
+            is given.
+        rewrite: escape hatch for rules that must modify module state
+            (e.g. conv-bn folds weights): called as ``rewrite(gm, match)``
+            inside an insertion context before the anchor, returns the
+            value replacing the (single) anchor.
+        preconditions: predicates ``(gm, match, ctx) -> bool``; all must
+            hold for a firing (``ctx`` is a :class:`~.engine.RuleContext`
+            giving lazy access to ``repro.fx.analysis`` results).
+        constraints: placeholder name -> predicate over the bound value,
+            checked structurally during matching.
+        example: zero-arg callable returning the argument tuple that the
+            rule's own pattern fires on (tensors stay placeholders,
+            non-tensors are baked in as literals) — the self-test input.
+        example_factory: for module-typed patterns: zero-arg callable
+            returning ``(module, input_tuple)``; the module is traced and
+            the rule must fire on it.
+        exact: the rewrite is bit-exact (same floats out).  Non-exact
+            rules (e.g. float re-association) are excluded from the
+            default pipeline rule set and self-tested with a tolerance.
+        tags: free-form labels; ``default_ruleset()`` selects by tag.
+        doc: one-line description (from the DSL function's docstring).
+    """
+
+    name: str
+    pattern: Graph
+    replacement: Optional[Graph] = None
+    rewrite: Optional[Callable] = None
+    preconditions: tuple = ()
+    constraints: dict[str, Callable[[Any], bool]] = field(default_factory=dict)
+    example: Optional[Callable[[], tuple]] = None
+    example_factory: Optional[Callable[[], tuple]] = None
+    exact: bool = True
+    tags: frozenset = frozenset()
+    doc: str = ""
+
+    def __post_init__(self):
+        if (self.replacement is None) == (self.rewrite is None):
+            raise ValueError(
+                f"rule {self.name!r} must have exactly one of replacement/rewrite")
+        self.tags = frozenset(self.tags)
+        # Built once; reused across every apply (pattern graphs are frozen).
+        self.matcher = SubgraphMatcher(self.pattern, constraints=self.constraints)
+        self.pattern_placeholders = [
+            n for n in self.pattern.nodes if n.op == "placeholder"]
+        if self.replacement is not None:
+            rep_phs = [n for n in self.replacement.nodes if n.op == "placeholder"]
+            if len(rep_phs) != len(self.pattern_placeholders):
+                raise ValueError(
+                    f"rule {self.name!r}: pattern takes "
+                    f"{len(self.pattern_placeholders)} argument(s) but "
+                    f"replacement takes {len(rep_phs)}")
+        reachable = _reachable_from_output(self.pattern)
+        unused = [p.target for p in self.pattern_placeholders if p not in reachable]
+        if unused:
+            raise ValueError(
+                f"rule {self.name!r}: pattern never uses placeholder(s) "
+                f"{unused} — they would bind nothing")
+        if self.rewrite is not None and len(self.matcher.pattern_anchors) != 1:
+            raise ValueError(
+                f"rule {self.name!r}: rewrite-callback rules must have a "
+                "single-output pattern")
+
+    @property
+    def anchor_key(self) -> Optional[tuple]:
+        """Index key for the batch engine: ``(op, target)`` of the
+        pattern's primary anchor, with module-typed anchors bucketed
+        under ``("call_module", None)``.  ``None`` means "try every
+        node" (no indexable anchor)."""
+        from ..subgraph_rewriter import any_module
+        a = self.matcher.pattern_anchors[0]
+        if a.op == "call_function":
+            if a.target is any_module:
+                return ("call_module", None)
+            return ("call_function", a.target)
+        if a.op in ("call_method", "call_module", "get_attr"):
+            return (a.op, a.target if isinstance(a.target, str) else None)
+        return None
+
+    @property
+    def uses_modules(self) -> bool:
+        from ..subgraph_rewriter import any_module
+        return any(
+            n.op == "call_function" and n.target is any_module
+            for n in self.pattern.nodes)
+
+    def __repr__(self):
+        kind = "rewrite" if self.rewrite is not None else "replace"
+        return f"Rule({self.name!r}, {kind}, exact={self.exact}, tags={sorted(self.tags)})"
+
+
+def _reachable_from_output(graph: Graph) -> set[Node]:
+    roots: list[Node] = []
+
+    def seed(v):
+        if isinstance(v, Node):
+            roots.append(v)
+        return v
+
+    map_arg(graph.output_node.args, seed)
+    seen: set[Node] = set()
+    stack = roots
+    while stack:
+        n = stack.pop()
+        if n in seen:
+            continue
+        seen.add(n)
+        stack.extend(n.all_input_nodes)
+    return seen
+
+
+# -- paired-trace DSL ------------------------------------------------------
+
+
+def _extract_half(graph: Graph, root: Any) -> Graph:
+    """Copy the subgraph reaching *root* (a Node or tuple of Nodes) out of
+    *graph* into a fresh Graph.  Every placeholder is copied (in order) so
+    pattern and replacement stay positionally aligned."""
+    new = Graph()
+    val_map: dict[Node, Any] = {}
+    for n in graph.nodes:
+        if n.op == "placeholder":
+            val_map[n] = new.placeholder(n.target)
+    roots = list(root) if isinstance(root, (tuple, list)) else [root]
+    need: set[Node] = set()
+    stack = [r for r in roots if isinstance(r, Node)]
+    while stack:
+        n = stack.pop()
+        if n in need or n.op == "placeholder":
+            continue
+        need.add(n)
+        stack.extend(n.all_input_nodes)
+    for n in graph.nodes:
+        if n in need:
+            val_map[n] = new.node_copy(n, lambda x: val_map[x])
+    mapped = map_arg(tuple(roots), lambda n: val_map[n])
+    new.output(mapped if isinstance(root, (tuple, list)) else mapped[0])
+    return new
+
+
+def _split_paired(fn: Callable) -> tuple[Graph, Graph]:
+    """Trace ``fn`` once and split its 2-tuple return into
+    (pattern, replacement) graphs."""
+    traced = symbolic_trace(fn)
+    out = traced.graph.output_node.args[0]
+    if not isinstance(out, (tuple, list)) or len(out) != 2:
+        raise ValueError(
+            f"{getattr(fn, '__name__', fn)!r} must return a 2-tuple "
+            "(pattern_expr, replacement_expr)")
+    pat_root, rep_root = out
+    return _extract_half(traced.graph, pat_root), _extract_half(traced.graph, rep_root)
+
+
+# -- registry --------------------------------------------------------------
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    """Add *rule* to the global registry (unique name enforced)."""
+    if rule.name in _REGISTRY:
+        raise ValueError(f"a rule named {rule.name!r} is already registered")
+    _REGISTRY[rule.name] = rule
+    return rule
+
+
+def register_rule(fn: Callable | None = None, *,
+                  name: Optional[str] = None,
+                  constraints: Optional[dict[str, Callable]] = None,
+                  preconditions: tuple = (),
+                  example: Optional[Callable[[], tuple]] = None,
+                  exact: bool = True,
+                  tags: tuple = ("default",)):
+    """Decorator form of the paired-trace DSL (see module docstring).
+
+    The decorated function returns ``(pattern_expr, replacement_expr)``;
+    it is traced once, split, and registered.  Non-exact rules should
+    pass ``exact=False`` and a non-``default`` tag so they stay out of
+    the numerics-preserving pipeline rule set.
+    """
+    def deco(f: Callable) -> Rule:
+        pattern, replacement = _split_paired(f)
+        rule = Rule(
+            name=name or f.__name__,
+            pattern=pattern,
+            replacement=replacement,
+            preconditions=tuple(preconditions),
+            constraints=dict(constraints or {}),
+            example=example,
+            exact=exact,
+            tags=frozenset(tags),
+            doc=(f.__doc__ or "").strip().splitlines()[0] if f.__doc__ else "",
+        )
+        return register(rule)
+
+    if fn is not None:
+        return deco(fn)
+    return deco
+
+
+def get_rule(name: str) -> Rule:
+    return _REGISTRY[name]
+
+
+def all_rules() -> list[Rule]:
+    return list(_REGISTRY.values())
+
+
+def rules_with_tag(tag: str) -> list[Rule]:
+    return [r for r in _REGISTRY.values() if tag in r.tags]
+
+
+def clear_registry() -> None:
+    """Testing hook: drop every registered rule."""
+    _REGISTRY.clear()

@@ -1,0 +1,348 @@
+"""The standard rule library: algebraic and structural identities.
+
+Every rule here is written in the paired-trace DSL and carries its own
+example, so the registry is self-testing (``python -m repro.fx.rules
+selftest``).  Rules tagged ``default`` are **bit-exact**: applying them
+changes not a single output bit (up to the sign of zero), which is what
+lets the compile pipelines run them unconditionally and the fuzz
+oracle's ``rules`` check demand ``max |diff| == 0.0``.
+
+Exactness is taken seriously, not assumed:
+
+* Identities that change dtype under promotion (``bool * 1`` is int64)
+  carry a ``not_bool_dtype``/``floating_dtype`` constraint and simply
+  don't fire where the algebra breaks.
+* ``where(c, x, x) -> x`` silently *broadcasts* without the
+  shape-equality precondition it carries.
+* ``cat([x]) -> x`` turns a copy into an alias, so it requires a
+  mutation-free graph.
+* Float re-association (``(x + a) + b -> x + (a + b)``) is **not**
+  bit-exact; those rules are tagged ``fastmath``, excluded from the
+  default set, and self-tested with a tolerance instead.
+
+Excluded on principle (look safe, aren't): ``exp(log(x))`` round-trips,
+``x - x -> 0`` (NaN/inf), ``x * 0 -> 0`` (NaN/inf), ``pow(x, 2) ->
+x * x`` (``np.power`` rounds differently).
+"""
+
+from __future__ import annotations
+
+import repro
+import repro.functional as F
+
+from .preconditions import (
+    anchor_shape_matches,
+    floating_dtype,
+    is_identity_permutation,
+    is_number_literal,
+    no_mutation_anywhere,
+    not_bool_dtype,
+    pure_interior,
+)
+from .rule import register_rule
+
+
+def _t(*shape):
+    return repro.randn(*shape)
+
+
+# -- multiplicative / additive identities ----------------------------------
+
+@register_rule(example=lambda: (_t(4, 5),), constraints={"x": not_bool_dtype})
+def mul_one(x):
+    """x * 1 is x (int literal 1; bool tensors promote, so they are excluded)."""
+    return x * 1, x
+
+
+@register_rule(example=lambda: (_t(4, 5),), constraints={"x": not_bool_dtype})
+def one_mul(x):
+    """1 * x is x."""
+    return 1 * x, x
+
+
+@register_rule(example=lambda: (_t(3, 3),), constraints={"x": not_bool_dtype})
+def add_zero(x):
+    """x + 0 is x."""
+    return x + 0, x
+
+
+@register_rule(example=lambda: (_t(3, 3),), constraints={"x": not_bool_dtype})
+def zero_add(x):
+    """0 + x is x."""
+    return 0 + x, x
+
+
+@register_rule(example=lambda: (_t(6,),))
+def sub_zero(x):
+    """x - 0 is x (bool subtraction is a numpy error, so no constraint needed)."""
+    return x - 0, x
+
+
+@register_rule(example=lambda: (_t(6,),), constraints={"x": not_bool_dtype})
+def zero_sub(x):
+    """0 - x is -x."""
+    return 0 - x, -x
+
+
+@register_rule(example=lambda: (_t(2, 7),), constraints={"x": floating_dtype})
+def div_one(x):
+    """x / 1 is x — floats only: true division promotes int tensors."""
+    return x / 1, x
+
+
+@register_rule(example=lambda: (_t(5,),))
+def pow_one(x):
+    """x ** 1 is x (np.power preserves dtype at exponent 1)."""
+    return x ** 1, x
+
+
+@register_rule(example=lambda: (_t(4, 4),), constraints={"x": not_bool_dtype})
+def mul_neg_one(x):
+    """x * -1 is -x (bool excluded: negation is a numpy error)."""
+    return x * -1, -x
+
+
+@register_rule(example=lambda: (_t(4, 4),), constraints={"x": not_bool_dtype})
+def neg_one_mul(x):
+    """-1 * x is -x."""
+    return -1 * x, -x
+
+
+@register_rule(example=lambda: (_t(8,),), constraints={"x": not_bool_dtype})
+def add_self(x):
+    """x + x is x * 2 (exactly, in IEEE754; bool promotes and is excluded)."""
+    return x + x, x * 2
+
+
+# -- involution / idempotence ----------------------------------------------
+
+@register_rule(example=lambda: (_t(3, 4),))
+def double_neg(x):
+    """-(-x) is x."""
+    return -(-x), x
+
+
+@register_rule(example=lambda: (_t(3, 4),))
+def double_neg_method(x):
+    """x.neg().neg() is x (method spelling of double negation)."""
+    return x.neg().neg(), x
+
+
+@register_rule(example=lambda: (_t(5, 2),))
+def abs_neg(x):
+    """|-x| is |x|."""
+    return F.abs(-x), F.abs(x)
+
+
+@register_rule(example=lambda: (_t(5, 2),))
+def abs_abs(x):
+    """||x|| is |x|."""
+    return F.abs(F.abs(x)), F.abs(x)
+
+
+@register_rule(example=lambda: (_t(6, 3),))
+def relu_relu(x):
+    """relu(relu(x)) is relu(x)."""
+    return F.relu(F.relu(x)), F.relu(x)
+
+
+@register_rule(example=lambda: (_t(6, 3),))
+def relu_abs(x):
+    """relu(|x|) is |x| (already non-negative)."""
+    return F.relu(F.abs(x)), F.abs(x)
+
+
+@register_rule(example=lambda: (_t(4,),))
+def relu6_relu(x):
+    """relu6(relu(x)) is relu6(x) (the inner clamp-at-0 is subsumed)."""
+    return F.relu6(F.relu(x)), F.relu6(x)
+
+
+@register_rule(example=lambda: (_t(4,),))
+def relu_relu6(x):
+    """relu(relu6(x)) is relu6(x) (relu6 output is already >= 0)."""
+    return F.relu(F.relu6(x)), F.relu6(x)
+
+
+@register_rule(example=lambda: (_t(7,),))
+def sign_sign(x):
+    """sign(sign(x)) is sign(x)."""
+    return F.sign(F.sign(x)), F.sign(x)
+
+
+@register_rule(example=lambda: (_t(3, 5), 0.25, 0.75))
+def clamp_clamp(x, lo, hi):
+    """clamp(clamp(x, lo, hi), lo, hi) is clamp(x, lo, hi) (idempotent)."""
+    return F.clamp(F.clamp(x, lo, hi), lo, hi), F.clamp(x, lo, hi)
+
+
+@register_rule(example=lambda: (_t(3, 5),))
+def clamp_noop(x):
+    """clamp with neither bound is the identity."""
+    return F.clamp(x), x
+
+
+# -- self-combination ------------------------------------------------------
+
+@register_rule(example=lambda: (_t(4, 4),))
+def maximum_self(x):
+    """maximum(x, x) is x (NaN-safe: np.maximum(nan, nan) is nan)."""
+    return F.maximum(x, x), x
+
+
+@register_rule(example=lambda: (_t(4, 4),))
+def minimum_self(x):
+    """minimum(x, x) is x."""
+    return F.minimum(x, x), x
+
+
+@register_rule(
+    example=lambda: (repro.randn(4, 4) > 0, _t(4, 4)),
+    preconditions=(anchor_shape_matches("x"),),
+)
+def where_same(c, x):
+    """where(c, x, x) is x — guarded: both branches equal, but ``where``
+    would broadcast x to c's shape, so shapes must match exactly."""
+    return F.where(c, x, x), x
+
+
+# -- structural / layout ---------------------------------------------------
+
+@register_rule(example=lambda: (_t(3, 4, 5), 0, 2))
+def transpose_transpose(x, d0, d1):
+    """Swapping the same two dims twice is the identity."""
+    return F.transpose(F.transpose(x, d0, d1), d0, d1), x
+
+
+@register_rule(example=lambda: (_t(3, 4, 5), 1, 2))
+def transpose_transpose_swapped(x, d0, d1):
+    """transpose(transpose(x, d0, d1), d1, d0) is also the identity."""
+    return F.transpose(F.transpose(x, d0, d1), d1, d0), x
+
+
+@register_rule(example=lambda: (_t(3, 4, 5), 0, 2))
+def transpose_transpose_method(x, d0, d1):
+    """Method spelling of the transpose pair."""
+    return x.transpose(d0, d1).transpose(d0, d1), x
+
+
+@register_rule(example=lambda: (_t(2, 6), 1))
+def transpose_same_dim(x, d):
+    """transpose(x, d, d) swaps a dim with itself — identity (the repeated
+    placeholder only matches when both dim arguments are equal)."""
+    return F.transpose(x, d, d), x
+
+
+@register_rule(
+    example=lambda: (_t(2, 3, 4), (0, 1, 2)),
+    constraints={"dims": is_identity_permutation},
+)
+def permute_identity(x, dims):
+    """permute by (0, 1, ..., n-1) is the identity (literal-constrained)."""
+    return F.permute(x, dims), x
+
+
+@register_rule(
+    example=lambda: (_t(2, 3, 4), (0, 1, 2)),
+    constraints={"dims": is_identity_permutation},
+)
+def permute_identity_method(x, dims):
+    """Method spelling of the identity permute."""
+    return x.permute(dims), x
+
+
+@register_rule(example=lambda: (_t(2, 12), (4, 6), (3, 8)))
+def reshape_reshape(x, s1, s2):
+    """reshape(reshape(x, s1), s2) collapses to reshape(x, s2) — a valid
+    middle shape has the same numel, so the outer reshape alone is legal
+    and value-identical."""
+    return F.reshape(F.reshape(x, s1), s2), F.reshape(x, s2)
+
+
+@register_rule(example=lambda: (_t(2, 12), (4, 6), (3, 8)))
+def reshape_reshape_method(x, s1, s2):
+    """Method spelling of the reshape collapse."""
+    return x.reshape(s1).reshape(s2), x.reshape(s2)
+
+
+@register_rule(example=lambda: (_t(2, 3, 4),))
+def flatten_flatten(x):
+    """Fully flattening twice is flattening once."""
+    return F.flatten(F.flatten(x)), F.flatten(x)
+
+
+@register_rule(
+    example=lambda: (_t(3, 4), 0),
+    preconditions=(no_mutation_anywhere,),
+)
+def cat_single(x, d):
+    """cat([x], d) is x — value-exact, but it turns a copy into an alias,
+    so it only fires in mutation-free graphs."""
+    return F.cat([x], d), x
+
+
+@register_rule(example=lambda: (_t(3, 4), 1))
+def stack_single(x, d):
+    """stack([x], d) is unsqueeze(x, d)."""
+    return F.stack([x], d), F.unsqueeze(x, d)
+
+
+@register_rule(example=lambda: (_t(3, 4), 1))
+def squeeze_unsqueeze(x, d):
+    """squeeze(unsqueeze(x, d), d) round-trips to x."""
+    return F.squeeze(F.unsqueeze(x, d), d), x
+
+
+# -- dtype / canonicalization ----------------------------------------------
+
+@register_rule(example=lambda: (_t(5,),))
+def float_float(x):
+    """Casting to float twice is casting once (redundant-cast elimination)."""
+    return x.float().float(), x.float()
+
+
+@register_rule(example=lambda: (_t(3, 3), _t(3, 3)))
+def add_alpha_canon(x, y):
+    """F.add(x, y, alpha=1) is x + y (same np.add call, simpler node)."""
+    return F.add(x, y, alpha=1), x + y
+
+
+# -- fusion-shaped rewrites ------------------------------------------------
+
+@register_rule(example=lambda: (_t(4, 6), _t(6, 3), _t(3,)))
+def matmul_add_addmm(x, w, b):
+    """matmul(x, w) + b fuses to addmm(b, x, w) — addmm is defined as
+    matmul-then-add in exactly this order, so the fusion is bit-exact."""
+    return F.matmul(x, w) + b, F.addmm(b, x, w)
+
+
+@register_rule(example=lambda: (_t(4, 6), _t(6, 3), _t(3,)))
+def add_matmul_addmm(x, w, b):
+    """b + matmul(x, w) fuses to addmm(b, x, w) (np.add commutes exactly
+    over the same two operands)."""
+    return b + F.matmul(x, w), F.addmm(b, x, w)
+
+
+# -- fastmath (NOT bit-exact; excluded from the default set) ---------------
+
+@register_rule(
+    example=lambda: (_t(4, 4), 0.5, 1.5),
+    constraints={"a": is_number_literal, "b": is_number_literal},
+    preconditions=(pure_interior,),
+    exact=False, tags=("fastmath",),
+)
+def assoc_add_const(x, a, b):
+    """(x + a) + b re-associates to x + (a + b) for literal a, b —
+    one op fewer, but float addition is not associative bit-for-bit."""
+    return (x + a) + b, x + (a + b)
+
+
+@register_rule(
+    example=lambda: (_t(4, 4), 0.5, 2.0),
+    constraints={"a": is_number_literal, "b": is_number_literal},
+    preconditions=(pure_interior,),
+    exact=False, tags=("fastmath",),
+)
+def assoc_mul_const(x, a, b):
+    """(x * a) * b re-associates to x * (a * b) for literal a, b."""
+    return (x * a) * b, x * (a * b)

@@ -17,7 +17,11 @@ executes:
    ``graph.lint()`` validation *and* the analysis-backed
    :class:`~repro.fx.analysis.PassVerifier` enabled, so every fuzz
    iteration also exercises the managed pass driver, its structural-hash
-   transform cache, and the between-pass invariant checks; and
+   transform cache, and the between-pass invariant checks — plus the
+   **declarative rewrite-rule stdlib** (check ``rules``): the default
+   rule set applied under its per-firing verifier must lint clean and be
+   *bit-exact* against the reference (the generator seeds rule-triggering
+   idioms so firings actually happen); and
 6. the full **optimizing compiler** (``repro.fx.compile``: pointwise
    fusion + memory planning, with its pass verifier on), executed twice
    so that arena-buffer reuse across calls is exercised — fusion and
@@ -360,6 +364,10 @@ def run_oracle(program: GeneratedProgram, localize: bool = True,
         check_numeric(name, lambda t=transformed: t(*inputs),
                       _PIPELINE_ATOL.get(name, EXACT_ATOL), transformed=transformed)
 
+    # -- the declarative rewrite-rule stdlib, bit-exact by contract --------
+    if want("rules"):
+        _check_rules(report, gm, inputs, ref, scale)
+
     # -- the full optimizing compiler --------------------------------------
     if want("compile"):
         _check_compile(report, gm, inputs, ref, scale, localize)
@@ -482,6 +490,35 @@ def _check_vm_compiled(report: OracleReport, gm: GraphModule, inputs: tuple,
         report.outcomes.append(CheckOutcome(
             "vm_compiled", False,
             f"numeric divergence {err:.3g} > tol {tol:.3g}", max_err=err))
+
+
+def _check_rules(report: OracleReport, gm: GraphModule, inputs: tuple,
+                 ref: Any, scale: float) -> None:
+    """The default rule set advertises bit-exactness: applying the whole
+    stdlib (with the per-firing verifier on) must not move the output by
+    a single ulp, and the rewritten graph must lint clean.  The generator
+    seeds rule-triggering idioms (``x * 1``, double negation, transpose
+    pairs, …) so this check exercises real firings, not just no-ops."""
+    from ..passes.shape_prop import ShapeProp
+    from ..rules import default_ruleset
+
+    try:
+        copy = _copy_gm(gm)
+        ShapeProp(copy).propagate(*inputs)
+        default_ruleset().apply(copy, verify=True)
+        copy.graph.lint()
+        out = copy(*inputs)
+    except Exception as exc:
+        report.outcomes.append(CheckOutcome("rules", False, _exc_summary(exc)))
+        return
+    err = max_abs_diff(ref, out)
+    if err == 0.0:
+        report.outcomes.append(CheckOutcome("rules", True, max_err=err))
+    else:
+        report.outcomes.append(CheckOutcome(
+            "rules", False,
+            f"rule rewrite moved numerics by {err:.3g} "
+            "(the default rule set must be bit-exact)", max_err=err))
 
 
 def _check_compile(report: OracleReport, gm: GraphModule, inputs: tuple,

@@ -264,4 +264,4 @@ class TestKernelObject:
             reg = pointwise_registry()
             from repro.fx.passes import pointwise_fuser as pf
             pf._REGISTRY.pop("scaled_tanh", None)
-            pf._FUNCTION_TARGETS.pop(scaled_tanh, None)
+            pf._PATTERN_INDEX._by_function.pop(scaled_tanh, None)

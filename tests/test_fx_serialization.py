@@ -58,6 +58,35 @@ class TestPickle:
         x = repro.randn(1, 3, 16, 16)
         assert np.allclose(gm(x).data, gm2(x).data, atol=1e-6)
 
+    def test_deep_graph_pickles_without_recursion(self):
+        # Nodes reference each other through the linked list and def-use
+        # chains; the graph must serialize flat, not by letting pickle
+        # recurse per node (a ~400-node chain used to blow the recursion
+        # limit).
+        from repro.fx import Graph, GraphModule
+
+        g = Graph()
+        cur = g.placeholder("x")
+        for _ in range(2000):
+            cur = g.call_function(F.relu, (cur,))
+        g.output(cur)
+        gm = GraphModule(nn.Module(), g)
+        gm2 = pickle.loads(pickle.dumps(gm))
+        assert len(gm2.graph) == len(gm.graph)
+        gm2.graph.lint()
+        x = repro.randn(4)
+        assert np.array_equal(gm(x).data, gm2(x).data)
+        gm3 = copy.deepcopy(gm)  # deepcopy shares the pickle path
+        assert np.array_equal(gm(x).data, gm3(x).data)
+
+    def test_node_references_in_meta_survive_roundtrip(self):
+        gm = symbolic_trace(lambda x: F.relu(x) * 2.0)
+        nodes = list(gm.graph.nodes)
+        nodes[2].meta["provenance"] = [nodes[1]]
+        gm2 = pickle.loads(pickle.dumps(gm))
+        n2 = list(gm2.graph.nodes)
+        assert n2[2].meta["provenance"][0] is n2[1]
+
 
 class TestDeepcopy:
     def test_deepcopy_independent_parameters(self):

@@ -234,3 +234,243 @@ class TestFuzzSurfacedEdgeCases:
         # pattern v * v must NOT match x * y
         gm = symbolic_trace(lambda x, y: x * y)
         assert replace_pattern(gm, lambda v: v * v, lambda v: v.pow(2)) == []
+
+
+class TestLiteralStrictness:
+    """``1 == True == 1.0`` under Python equality, but pattern literals
+    must be type-strict (regression for the _match_arg conflation bug)."""
+
+    def _graph_plus(self, const):
+        from repro.fx import Graph, GraphModule
+        g = Graph()
+        x = g.placeholder("x")
+        g.output(g.call_function(F.add, (x, const)))
+        return GraphModule(nn.Module(), g)
+
+    def test_bool_literal_does_not_match_int(self):
+        gm = self._graph_plus(True)
+        assert replace_pattern(gm, lambda v: F.add(v, 1), lambda v: v) == []
+
+    def test_int_literal_does_not_match_bool(self):
+        gm = self._graph_plus(1)
+        pat = symbolic_trace(lambda v: F.add(v, True)).graph
+        from repro.fx.subgraph_rewriter import SubgraphMatcher
+        assert SubgraphMatcher(pat).find_matches(gm.graph) == []
+
+    def test_float_literal_does_not_match_int(self):
+        gm = self._graph_plus(1)
+        assert replace_pattern(gm, lambda v: F.add(v, 1.0), lambda v: v) == []
+
+    def test_exact_type_still_matches(self):
+        gm = self._graph_plus(1.0)
+        assert len(replace_pattern(gm, lambda v: F.add(v, 1.0),
+                                   lambda v: v)) == 1
+
+
+class TestNonTreePatterns:
+    def test_diamond_pattern_matches_shared_value(self):
+        # tanh(x) feeds both sides of the add: genuine dataflow DAG, not
+        # a tree.  Tree-shaped matchers duplicate or miss the shared node.
+        def model(x):
+            t = repro.tanh(x)
+            return (t * 2.0) + (t * 3.0)
+
+        def pattern(v):
+            t = repro.tanh(v)
+            return (t * 2.0) + (t * 3.0)
+
+        def replacement(v):
+            return repro.tanh(v) * 5.0
+
+        gm = symbolic_trace(model)
+        assert len(replace_pattern(gm, pattern, replacement)) == 1
+        gm.graph.lint()
+        x = repro.randn(4)
+        assert np.allclose(gm(x).data, np.tanh(x.data) * 5.0, atol=1e-6)
+
+    def test_diamond_pattern_rejects_unshared_value(self):
+        # Two *distinct* tanh nodes must not satisfy a pattern whose
+        # dataflow shares one.
+        def model(x):
+            return (repro.tanh(x) * 2.0) + (repro.tanh(x) * 3.0)
+
+        def pattern(v):
+            t = repro.tanh(v)
+            return (t * 2.0) + (t * 3.0)
+
+        gm = symbolic_trace(model)
+        # tracing does not CSE: the two tanh calls are separate nodes
+        tanhs = [n for n in gm.graph.nodes
+                 if n.op == "call_function" and n.target is F.tanh]
+        assert len(tanhs) == 2
+        assert replace_pattern(gm, pattern, lambda v: v) == []
+
+
+class TestMultiOutputPatterns:
+    def test_two_output_pattern_rewrites_both(self):
+        def model(x):
+            s = F.sigmoid(x)
+            return F.relu(s) + F.neg(s)
+
+        def pattern(v):
+            s = F.sigmoid(v)
+            return F.relu(s), F.neg(s)
+
+        def replacement(v):
+            s = F.sigmoid(v)
+            return F.clamp(s, min=0.0), s * -1.0
+
+        m = symbolic_trace(model)
+        x = repro.randn(6)
+        ref = m(x)
+        matches = replace_pattern(m, pattern, replacement)
+        assert len(matches) == 1
+        assert len(matches[0].anchors) == 2
+        m.graph.lint()
+        assert np.allclose(m(x).data, ref.data, atol=1e-6)
+        # the rewritten graph really uses the replacement's ops
+        targets = {n.target for n in m.graph.nodes if n.op == "call_function"}
+        assert F.clamp in targets and F.relu not in targets
+
+    def test_multi_output_requires_tuple_pattern_output(self):
+        from repro.fx import Graph
+        from repro.fx.subgraph_rewriter import SubgraphMatcher
+        g = Graph()
+        x = g.placeholder("x")
+        g.output((x, ()))  # non-Node member
+        with pytest.raises(ValueError, match="multi-output"):
+            SubgraphMatcher(g)
+
+
+class TestMetadataPropagation:
+    def _traced_with_meta(self):
+        from repro.fx.passes import ShapeProp
+
+        def model(x):
+            return repro.relu(x.neg()) * 2.0
+
+        gm = symbolic_trace(model)
+        for n in gm.graph.nodes:
+            if n.op not in ("placeholder", "output"):
+                n.meta["stack_trace"] = f"model.py:{id(n) % 97}"
+        ShapeProp(gm).propagate(repro.randn(4, 3))
+        return gm
+
+    def test_tensor_meta_propagated_to_replacement(self):
+        gm = self._traced_with_meta()
+        assert len(replace_pattern(
+            gm, lambda v: repro.relu(v.neg()), lambda v: repro.gelu(v))) == 1
+        new = [n for n in gm.graph.nodes
+               if n.op == "call_function" and n.target is F.gelu]
+        assert len(new) == 1
+        tm = new[0].meta.get("tensor_meta")
+        assert tm is not None and tuple(tm.shape) == (4, 3)
+
+    def test_stack_trace_propagated_to_replacement(self):
+        gm = self._traced_with_meta()
+        replace_pattern(gm, lambda v: repro.relu(v.neg()),
+                        lambda v: repro.gelu(v))
+        new = [n for n in gm.graph.nodes
+               if n.op == "call_function" and n.target is F.gelu]
+        assert new[0].meta.get("stack_trace")
+
+
+class TestAnyModulePatterns:
+    def _model(self):
+        class M(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.act = nn.ReLU()
+
+            def forward(self, x):
+                return self.act(x) + 1.0
+
+        return symbolic_trace(M())
+
+    def _pattern(self, cls):
+        from repro.fx import Graph
+        from repro.fx.subgraph_rewriter import any_module
+        g = Graph()
+        x = g.placeholder("x")
+        g.output(g.call_function(any_module, (cls, x)))
+        return g
+
+    def test_matches_by_module_type(self):
+        from repro.fx.subgraph_rewriter import SubgraphMatcher
+        gm = self._model()
+        matcher = SubgraphMatcher(self._pattern(nn.ReLU))
+        assert len(matcher.find_matches(gm.graph,
+                                        dict(gm.named_modules()))) == 1
+
+    def test_wrong_type_or_missing_modules_no_match(self):
+        from repro.fx.subgraph_rewriter import SubgraphMatcher
+        gm = self._model()
+        assert SubgraphMatcher(self._pattern(nn.Tanh)).find_matches(
+            gm.graph, dict(gm.named_modules())) == []
+        # without a module dict the type cannot be certified
+        assert SubgraphMatcher(self._pattern(nn.ReLU)).find_matches(
+            gm.graph) == []
+
+    def test_any_module_raises_at_runtime(self):
+        from repro.fx.subgraph_rewriter import any_module
+        with pytest.raises(RuntimeError, match="pattern-only"):
+            any_module(nn.ReLU, repro.randn(2))
+
+
+class TestOverlapPolicies:
+    def _nested(self):
+        # relu(relu(x)): the 2-relu pattern and the 1-relu pattern overlap.
+        return symbolic_trace(lambda x: repro.relu(repro.relu(x)))
+
+    def test_largest_prefers_enclosing_match(self):
+        from repro.fx.subgraph_rewriter import SubgraphMatcher
+        pat2 = symbolic_trace(lambda v: repro.relu(repro.relu(v))).graph
+        gm = self._nested()
+        matches = SubgraphMatcher(pat2).find_matches(
+            gm.graph, overlap="largest")
+        assert len(matches) == 1
+        assert len(matches[0].internal_nodes()) == 2
+
+    def test_first_policy_is_scan_order(self):
+        gm = self._nested()
+        matches = replace_pattern(gm, lambda v: repro.relu(v),
+                                  lambda v: repro.tanh(v), overlap="first")
+        assert len(matches) == 2
+
+    def test_invalid_policy_raises(self):
+        from repro.fx.subgraph_rewriter import SubgraphMatcher
+        gm = self._nested()
+        pat = symbolic_trace(lambda v: repro.relu(v)).graph
+        with pytest.raises(ValueError, match="overlap"):
+            SubgraphMatcher(pat).find_matches(gm.graph, overlap="sometimes")
+
+
+class TestMatcherLifetime:
+    def test_find_matches_releases_target_graph(self):
+        # Rules cache matchers at module level; a matcher that keeps its
+        # last scan's bindings or modules dict would pin every matched
+        # GraphModule (100MB for a ResNet) in memory forever.
+        import gc
+        import weakref
+        from repro.fx.subgraph_rewriter import SubgraphMatcher
+
+        pat = symbolic_trace(lambda v: repro.relu(v)).graph
+        matcher = SubgraphMatcher(pat)
+        gm = symbolic_trace(nn.Sequential(nn.ReLU(), nn.Linear(4, 4)))
+        matches = matcher.find_matches(gm.graph, dict(gm.named_modules()))
+        ref = weakref.ref(gm)
+        del gm, matches
+        gc.collect()
+        assert ref() is None, "matcher retained the matched GraphModule"
+
+    def test_cached_rule_does_not_pin_compiled_module(self):
+        import gc
+        import weakref
+        from repro.fx.passes import fuse_conv_bn
+        from repro.models import SimpleCNN
+
+        gm = fuse_conv_bn(symbolic_trace(SimpleCNN().eval()))
+        ref = weakref.ref(gm)
+        del gm
+        gc.collect()
+        assert ref() is None, "conv-bn rule retained the fused module"
